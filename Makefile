@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test bench bench-full experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Scaled-down benchmarks: one per table/figure plus pipeline microbenches.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# The paper's full workload sizes (slow: ~20 minutes).
+bench-full:
+	DLC_BENCH_SCALE=1.0 $(GO) test -bench 'Table|Figure' -benchtime 1x .
+
+# Regenerate every table and figure at full scale into ./results.
+experiments:
+	$(GO) run ./cmd/dlc-experiments -reps 5 -scale 1.0 -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/haccio-monitoring
+	$(GO) run ./examples/overhead-study
+	$(GO) run ./examples/hdf5-tracing
+	$(GO) run ./examples/live-dashboard -render-only
+
+clean:
+	rm -rf results dashboard

@@ -1,0 +1,180 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section (testing.B wrappers around the harness), plus
+// microbenchmarks of the pipeline stages the paper's overhead analysis
+// hinges on.
+//
+// The table/figure benches default to a scaled-down workload so `go test
+// -bench .` completes quickly; set DLC_BENCH_SCALE (e.g. to 1.0) to run
+// the paper's full configurations, and see cmd/dlc-experiments for the
+// canonical full-scale regeneration with printed output.
+package darshanldms_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"darshanldms/internal/apps"
+	"darshanldms/internal/harness"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/simfs"
+)
+
+// benchScale returns the workload scale for table/figure benches.
+func benchScale(def float64) float64 {
+	if v := os.Getenv("DLC_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return def
+}
+
+// BenchmarkTableIIa regenerates the MPI-IO-TEST overhead panel
+// (Table IIa: NFS/Lustre x collective/independent).
+func BenchmarkTableIIa(b *testing.B) {
+	scale := benchScale(0.1)
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.TableIIa(2022+uint64(i), 2, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 4 {
+			b.Fatalf("cells %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkTableIIb regenerates the HACC-IO overhead panel (Table IIb).
+func BenchmarkTableIIb(b *testing.B) {
+	scale := benchScale(0.1)
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.TableIIb(2022+uint64(i), 2, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 4 {
+			b.Fatalf("cells %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkTableIIc regenerates the HMMER overhead panel (Table IIc) —
+// the sprintf-formatting blowup.
+func BenchmarkTableIIc(b *testing.B) {
+	scale := benchScale(0.01)
+	for i := 0; i < b.N; i++ {
+		cells, err := harness.TableIIc(2022+uint64(i), 2, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.OverheadPct < 50 {
+				b.Fatalf("HMMER blowup missing: %+v", c)
+			}
+		}
+	}
+}
+
+// BenchmarkEncoderAblation regenerates the "without the sprintf()"
+// ablation of Section VI-A.
+func BenchmarkEncoderAblation(b *testing.B) {
+	scale := benchScale(0.01)
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.EncoderAblation(2022+uint64(i), 1, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatalf("rows %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the per-op mean-occurrence dataset (Fig 5).
+func BenchmarkFigure5(b *testing.B) {
+	scale := benchScale(0.01)
+	for i := 0; i < b.N; i++ {
+		data, err := harness.Figure5(2022+uint64(i), 3, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) != 4 {
+			b.Fatalf("configs %d", len(data))
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the per-node request counts (Fig 6).
+func BenchmarkFigure6(b *testing.B) {
+	scale := benchScale(0.01)
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure6(2022+uint64(i), scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigures789 regenerates the MPI-IO anomaly campaign and derives
+// the per-rank durations (Fig 7), the duration scatter (Fig 8) and the
+// byte timeline (Fig 9) from it.
+func BenchmarkFigures789(b *testing.B) {
+	scale := benchScale(0.1)
+	for i := 0; i < b.N; i++ {
+		camp, err := harness.MPIIOFigureCampaign(2022+uint64(i), 3, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.Figure7(camp); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.Figure8(camp); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := harness.Figure9(camp, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineEventThroughput measures end-to-end events/sec through
+// the whole stack: instrumented app -> connector (fast encoder) -> streams
+// -> two aggregation hops -> counting store.
+func BenchmarkPipelineEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(harness.RunOptions{
+			Seed: uint64(i), JobID: 1, FSKind: simfs.Lustre,
+			Connector: true, Encoder: jsonmsg.FastEncoder{},
+			App: func(env apps.Env) {
+				cfg := apps.DefaultHMMER(env.M.Node(0), simfs.Lustre)
+				cfg.Families = 100
+				apps.RunHMMER(env, cfg)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Messages), "msgs/op")
+	}
+}
+
+// BenchmarkHACCIOSimulation measures the raw simulation cost of a full
+// 256-rank HACC-IO job without any monitoring attached.
+func BenchmarkHACCIOSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := harness.Run(harness.RunOptions{
+			Seed: uint64(i), JobID: 1, FSKind: simfs.Lustre,
+			App: func(env apps.Env) {
+				apps.RunHACCIO(env, apps.DefaultHACCIO(env.M.Nodes()[:16], 100_000))
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

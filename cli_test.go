@@ -1,0 +1,78 @@
+package darshanldms_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// CLI smoke tests: build-and-run the user-facing binaries end to end.
+// Skipped under -short (they pay `go run` compile time).
+
+func runCmd(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIRunParseSummarize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "job.darshan")
+	csvPath := filepath.Join(dir, "events.csv")
+
+	out := runCmd(t, "run", "./cmd/dlc-run",
+		"-app", "hacc", "-fs", "Lustre", "-scale", "0.002",
+		"-connector", "-encoder", "fast",
+		"-log", logPath, "-csv", csvPath, "-seed", "3")
+	if !strings.Contains(out, "wrote darshan log") {
+		t.Fatalf("dlc-run output:\n%s", out)
+	}
+
+	parse := runCmd(t, "run", "./cmd/darshan-parser", logPath)
+	for _, want := range []string{"# nprocs: 256", "POSIX_BYTES_WRITTEN", "X_POSIX"} {
+		if !strings.Contains(parse, want) {
+			t.Fatalf("darshan-parser missing %q", want)
+		}
+	}
+
+	sum := runCmd(t, "run", "./cmd/darshan-summary", logPath)
+	for _, want := range []string{"busiest files", "hacc-io-checkpoint.dat", "access-size histogram"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("darshan-summary missing %q:\n%s", want, sum)
+		}
+	}
+
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) < 100 || !strings.HasPrefix(lines[0], "#module,") {
+		t.Fatalf("csv: %d lines, header %q", len(lines), lines[0])
+	}
+}
+
+func TestCLIExperimentsTinyPanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	dir := t.TempDir()
+	out := runCmd(t, "run", "./cmd/dlc-experiments",
+		"-only", "2b", "-reps", "1", "-scale", "0.001", "-out", dir)
+	if !strings.Contains(out, "Table IIb") || !strings.Contains(out, "Lustre/particles=10M") {
+		t.Fatalf("experiments output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2b.txt")); err != nil {
+		t.Fatal(err)
+	}
+}

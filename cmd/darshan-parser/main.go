@@ -1,0 +1,38 @@
+// darshan-parser dumps a binary darshan-go log file as text, like the real
+// darshan-util tool of the same name.
+//
+// Usage:
+//
+//	darshan-parser <logfile>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"darshanldms/internal/darshanlog"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: darshan-parser <logfile>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	log, err := darshanlog.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := darshanlog.Dump(os.Stdout, log); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "darshan-parser:", err)
+	os.Exit(1)
+}

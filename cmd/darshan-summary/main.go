@@ -1,0 +1,132 @@
+// darshan-summary renders a human-readable job report from a darshan-go
+// log, like darshan-job-summary: per-module totals, estimated I/O
+// performance, access-size histograms and the busiest files.
+//
+// Usage:
+//
+//	darshan-summary <logfile>
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/darshanlog"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: darshan-summary <logfile>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	log, err := darshanlog.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	Report(os.Stdout, log)
+}
+
+// Report writes the summary. Exported shape kept tiny; the heavy lifting
+// is in summarize.
+func Report(w *os.File, log *darshanlog.Log) {
+	fmt.Fprintf(w, "job %d  uid %d  nprocs %d\n", log.JobID, log.UID, log.NProcs)
+	fmt.Fprintf(w, "exe: %s\n", log.Exe)
+	runtime := (log.End - log.Start).Seconds()
+	fmt.Fprintf(w, "runtime: %.2f s   instrumented events: %d\n\n", runtime, log.Events)
+
+	type modAgg struct {
+		opens, reads, writes          int64
+		bytesRead, bytesWritten       int64
+		readTime, writeTime, metaTime float64
+		sizeRead, sizeWrite           [darshan.NumSizeBins]int64
+	}
+	mods := map[darshan.Module]*modAgg{}
+	type fileAgg struct {
+		name  string
+		bytes int64
+		ops   int64
+	}
+	files := map[uint64]*fileAgg{}
+	for _, r := range log.Records {
+		m := mods[r.Module]
+		if m == nil {
+			m = &modAgg{}
+			mods[r.Module] = m
+		}
+		m.opens += r.Opens
+		m.reads += r.Reads
+		m.writes += r.Writes
+		m.bytesRead += r.BytesRead
+		m.bytesWritten += r.BytesWritten
+		m.readTime += r.ReadTime.Seconds()
+		m.writeTime += r.WriteTime.Seconds()
+		m.metaTime += r.MetaTime.Seconds()
+		for i := 0; i < darshan.NumSizeBins; i++ {
+			m.sizeRead[i] += r.SizeReadBins[i]
+			m.sizeWrite[i] += r.SizeWriteBins[i]
+		}
+		fa := files[r.RecordID]
+		if fa == nil {
+			fa = &fileAgg{name: r.File}
+			files[r.RecordID] = fa
+		}
+		fa.bytes += r.BytesRead + r.BytesWritten
+		fa.ops += r.Opens + r.Closes + r.Reads + r.Writes + r.Flushes
+	}
+
+	modNames := make([]string, 0, len(mods))
+	for m := range mods {
+		modNames = append(modNames, string(m))
+	}
+	sort.Strings(modNames)
+	fmt.Fprintf(w, "%-8s %8s %10s %10s %14s %14s %10s %10s\n",
+		"module", "opens", "reads", "writes", "bytes read", "bytes written", "r time", "w time")
+	for _, name := range modNames {
+		m := mods[darshan.Module(name)]
+		fmt.Fprintf(w, "%-8s %8d %10d %10d %14d %14d %9.1fs %9.1fs\n",
+			name, m.opens, m.reads, m.writes, m.bytesRead, m.bytesWritten, m.readTime, m.writeTime)
+	}
+
+	if posix := mods[darshan.ModPOSIX]; posix != nil && runtime > 0 {
+		// darshan-style agg_perf_by_slowest approximation.
+		perf := float64(posix.bytesRead+posix.bytesWritten) / runtime / (1 << 20)
+		fmt.Fprintf(w, "\nestimated POSIX I/O rate: %.2f MiB/s over the job runtime\n", perf)
+		fmt.Fprintln(w, "\nPOSIX access-size histogram (reads / writes):")
+		for i := 0; i < darshan.NumSizeBins; i++ {
+			if posix.sizeRead[i] == 0 && posix.sizeWrite[i] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s %10d %10d\n", darshan.SizeBinLabel(i), posix.sizeRead[i], posix.sizeWrite[i])
+		}
+	}
+
+	fas := make([]*fileAgg, 0, len(files))
+	for _, fa := range files {
+		fas = append(fas, fa)
+	}
+	sort.Slice(fas, func(i, j int) bool {
+		if fas[i].bytes != fas[j].bytes {
+			return fas[i].bytes > fas[j].bytes
+		}
+		return fas[i].name < fas[j].name
+	})
+	fmt.Fprintln(w, "\nbusiest files:")
+	for i, fa := range fas {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(w, "  %12d bytes %8d ops  %s\n", fa.bytes, fa.ops, fa.name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "darshan-summary:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,180 @@
+// dlc-experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated cluster.
+//
+// Usage:
+//
+//	dlc-experiments [-seed N] [-reps N] [-scale F] [-out DIR] [-only LIST]
+//
+// -only selects a comma-separated subset of {2a,2b,2c,ablation,sweep,5,6,7,8,9};
+// the default runs everything. -scale shrinks the workloads (1.0 = the
+// paper's full configuration; runtimes and message counts scale with it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"darshanldms/internal/harness"
+	"darshanldms/internal/webui"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2022, "root experiment seed")
+	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 5)")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper's full size)")
+	outDir := flag.String("out", "results", "output directory")
+	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9")
+	bins := flag.Int("bins", 24, "time bins for Figure 9")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only == "all" {
+		for _, k := range []string{"2a", "2b", "2c", "ablation", "sweep", "5", "6", "7", "8", "9"} {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	emit := func(name, text string) {
+		fmt.Println(text)
+		path := filepath.Join(*outDir, name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	emitSVG := func(name, svg string) {
+		path := filepath.Join(*outDir, name+".svg")
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	if want["2a"] {
+		cells, err := harness.TableIIa(*seed, *reps, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table2a", harness.RenderTableII(
+			fmt.Sprintf("Table IIa: MPI-IO-TEST (22 nodes, 16 MiB blocks, scale %.2f, %d reps)", *scale, *reps), cells))
+	}
+	if want["2b"] {
+		cells, err := harness.TableIIb(*seed, *reps, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table2b", harness.RenderTableII(
+			fmt.Sprintf("Table IIb: HACC-IO (16 nodes, scale %.2f, %d reps)", *scale, *reps), cells))
+	}
+	if want["2c"] {
+		cells, err := harness.TableIIc(*seed, *reps, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table2c", harness.RenderTableII(
+			fmt.Sprintf("Table IIc: HMMER hmmbuild (1 node, 32 ranks, scale %.2f, %d reps)", *scale, *reps), cells))
+	}
+	if want["ablation"] {
+		rows, err := harness.EncoderAblation(*seed, *reps, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation", harness.RenderAblation(rows))
+	}
+	if want["sweep"] {
+		points, err := harness.SamplingSweep(*seed, *reps, *scale, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("sweep", harness.RenderSweep(points))
+	}
+	if want["5"] {
+		data, err := harness.Figure5(*seed, *reps, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure5", harness.RenderFigure5(data))
+		for label, stats := range data {
+			var bars []webui.BarGroup
+			for _, s := range stats {
+				bars = append(bars, webui.BarGroup{Label: s.Op, Value: s.Mean, Err: s.CI95})
+			}
+			safe := strings.NewReplacer(" ", "_", "/", "_").Replace(label)
+			emitSVG("figure5-"+safe, webui.RenderBars("Fig 5: "+label+" (mean op occurrences, 95% CI)", "occurrences", bars))
+		}
+	}
+	if want["6"] {
+		rows, err := harness.Figure6(*seed, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit("figure6", harness.RenderFigure6(rows))
+	}
+	if want["7"] || want["8"] || want["9"] {
+		camp, err := harness.MPIIOFigureCampaign(*seed, *reps, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if want["7"] {
+			rows, err := harness.Figure7(camp)
+			if err != nil {
+				fatal(err)
+			}
+			text := harness.RenderFigure7(rows)
+			if anoms, err := harness.Diagnose(camp); err == nil {
+				text += "\nautomated diagnosis:\n"
+				if len(anoms) == 0 {
+					text += "  no anomalous jobs\n"
+				}
+				for _, a := range anoms {
+					text += fmt.Sprintf("  job %d: %s\n", a.JobID, a.Reason)
+				}
+			}
+			emit("figure7", text)
+		}
+		if want["8"] {
+			pts, err := harness.Figure8(camp)
+			if err != nil {
+				fatal(err)
+			}
+			emit("figure8", harness.RenderFigure8(pts))
+			sc := webui.ScatterSeries{Title: "Fig 8: op duration over execution time, job_id 2"}
+			for _, p := range pts {
+				sc.T = append(sc.T, p.Time)
+				sc.D = append(sc.D, p.Dur)
+				sc.IsWrite = append(sc.IsWrite, p.Op == "write")
+			}
+			emitSVG("figure8", webui.RenderScatter(sc))
+		}
+		if want["9"] {
+			binsData, err := harness.Figure9(camp, *bins)
+			if err != nil {
+				fatal(err)
+			}
+			emit("figure9", harness.RenderFigure9(binsData))
+			ts := webui.TimelineSeries{Title: "Fig 9: bytes per window aggregated across ranks, job_id 2", YLabel: "bytes"}
+			for _, b := range binsData {
+				ts.Starts = append(ts.Starts, b.Start)
+				ts.Ends = append(ts.Ends, b.End)
+				ts.Write = append(ts.Write, b.WriteBytes)
+				ts.Read = append(ts.Read, b.ReadBytes)
+			}
+			emitSVG("figure9", webui.RenderTimeline(ts))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlc-experiments:", err)
+	os.Exit(1)
+}

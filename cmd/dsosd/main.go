@@ -1,0 +1,163 @@
+// dsosd runs a storage daemon: it receives connector stream messages over
+// the LDMS TCP transport, stores them into a SOS container with the darshan
+// schema and joint indices, and periodically snapshots the container to
+// disk (which dsosql can then query).
+//
+// Usage:
+//
+//	dsosd -listen :4420 -container darshan_data -snapshot data.sos
+//	      [-snapshot-every 30s] [-tag darshanConnector]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"darshanldms/internal/connector"
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/ldms"
+	"darshanldms/internal/sos"
+)
+
+func main() {
+	listen := flag.String("listen", ":4420", "TCP listen address")
+	httpAddr := flag.String("http", "", "HTTP query API address (e.g. :4421; empty disables)")
+	container := flag.String("container", "darshan_data", "container name")
+	snapshot := flag.String("snapshot", "darshan_data.sos", "snapshot file path")
+	every := flag.Duration("snapshot-every", 30*time.Second, "snapshot interval")
+	tag := flag.String("tag", connector.DefaultTag, "stream tag to store")
+	flag.Parse()
+
+	// A one-daemon DSOS cluster: the container this dsosd owns.
+	cluster := dsos.NewCluster(1, *container)
+	if err := dsos.SetupDarshan(cluster); err != nil {
+		fatal(err)
+	}
+	client := dsos.Connect(cluster)
+
+	d := ldms.NewDaemon("dsosd-ingest", "dsosd")
+	h := d.AttachStore(*tag, ldms.NewDSOSStore(client))
+	srv, err := ldms.ListenTCP(d, *listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "dsosd: container %q listening on %s\n", *container, srv.Addr())
+
+	snap := func() {
+		f, err := os.CreateTemp(".", "dsosd-snap-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsosd: snapshot:", err)
+			return
+		}
+		name := f.Name()
+		err = cluster.Daemons()[0].Container().Snapshot(f)
+		cerr := f.Close()
+		if err != nil || cerr != nil {
+			os.Remove(name)
+			fmt.Fprintln(os.Stderr, "dsosd: snapshot:", err, cerr)
+			return
+		}
+		if err := os.Rename(name, *snapshot); err != nil {
+			os.Remove(name)
+			fmt.Fprintln(os.Stderr, "dsosd: snapshot:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "dsosd: snapshot %s (%d objects, %d stored)\n",
+			*snapshot, client.Count(dsos.DarshanSchemaName), h.Received())
+	}
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/count", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(w, client.Count(dsos.DarshanSchemaName))
+		})
+		mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+			index := r.URL.Query().Get("index")
+			if index == "" {
+				index = "job_rank_time"
+			}
+			var from, to sos.Key
+			if v := r.URL.Query().Get("job"); v != "" {
+				job, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					http.Error(w, "bad job", http.StatusBadRequest)
+					return
+				}
+				from, to = sos.Key{job}, sos.Key{job + 1}
+				if rv := r.URL.Query().Get("rank"); rv != "" && index == "job_rank_time" {
+					rank, err := strconv.ParseInt(rv, 10, 64)
+					if err != nil {
+						http.Error(w, "bad rank", http.StatusBadRequest)
+						return
+					}
+					from, to = sos.Key{job, rank}, sos.Key{job, rank + 1}
+				}
+			}
+			objs, err := client.Query(index, from, to)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			limit := 0
+			if v := r.URL.Query().Get("limit"); v != "" {
+				limit, _ = strconv.Atoi(v)
+			}
+			fmt.Fprintln(w, jsonmsg.CSVHeader)
+			for i, o := range objs {
+				if limit > 0 && i >= limit {
+					break
+				}
+				for j, v := range o {
+					if j > 0 {
+						fmt.Fprint(w, ",")
+					}
+					fmt.Fprint(w, formatValue(v))
+				}
+				fmt.Fprintln(w)
+			}
+		})
+		go func() {
+			fmt.Fprintf(os.Stderr, "dsosd: HTTP query API on %s\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "dsosd: http:", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			snap()
+		case <-sig:
+			snap()
+			fmt.Fprintln(os.Stderr, "dsosd: shutdown")
+			return
+		}
+	}
+}
+
+// formatValue renders CSV cells with fixed-point floats (timestamps must
+// not degrade to scientific notation).
+func formatValue(v any) string {
+	if f, ok := v.(float64); ok {
+		return strconv.FormatFloat(f, 'f', 6, 64)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsosd:", err)
+	os.Exit(1)
+}

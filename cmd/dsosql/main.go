@@ -1,0 +1,137 @@
+// dsosql is the command-line query interface to stored connector data
+// (the DSOS CLI of the paper): it loads a container snapshot written by
+// dsosd and runs index queries, printing CSV rows.
+//
+// Usage:
+//
+//	dsosql -snapshot darshan_data.sos [-index job_rank_time]
+//	       [-job N] [-rank N] [-limit N] [-schemas] [-indices]
+//	dsosql -connect http://dsosd-host:4421 -job 2 -rank 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/sos"
+)
+
+func main() {
+	snapshot := flag.String("snapshot", "darshan_data.sos", "container snapshot to query")
+	connect := flag.String("connect", "", "query a live dsosd over HTTP instead of a snapshot")
+	index := flag.String("index", "job_rank_time", "index to order/search by")
+	job := flag.Int64("job", -1, "filter: job id (prefix of the index)")
+	rank := flag.Int64("rank", -1, "filter: rank (second prefix element, job_rank_time only)")
+	limit := flag.Int("limit", 0, "maximum rows (0 = all)")
+	showSchemas := flag.Bool("schemas", false, "list schemas and exit")
+	showIndices := flag.Bool("indices", false, "list indices and exit")
+	flag.Parse()
+
+	if *connect != "" {
+		queryRemote(*connect, *index, *job, *rank, *limit)
+		return
+	}
+
+	f, err := os.Open(*snapshot)
+	if err != nil {
+		fatal(err)
+	}
+	cont, err := sos.Restore(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *showSchemas {
+		for _, s := range cont.Schemas() {
+			fmt.Println(s)
+		}
+		return
+	}
+	if *showIndices {
+		for _, ix := range cont.Indices() {
+			fmt.Println(ix)
+		}
+		return
+	}
+
+	var from, to sos.Key
+	if *job >= 0 {
+		from = sos.Key{*job}
+		to = sos.Key{*job + 1}
+		if *rank >= 0 {
+			from = sos.Key{*job, *rank}
+			to = sos.Key{*job, *rank + 1}
+		}
+	}
+	fmt.Println(jsonmsg.CSVHeader)
+	n := 0
+	err = cont.Iter(*index, from, func(o sos.Object) bool {
+		if to != nil {
+			key := sos.Key{o[dsos.ColJobID]}
+			if *rank >= 0 {
+				key = sos.Key{o[dsos.ColJobID], o[dsos.ColRank]}
+			}
+			if sos.CompareKeys(key, to) >= 0 {
+				return false
+			}
+		}
+		row := ""
+		for i, v := range o {
+			if i > 0 {
+				row += ","
+			}
+			if f, ok := v.(float64); ok {
+				row += strconv.FormatFloat(f, 'f', 6, 64)
+			} else {
+				row += fmt.Sprintf("%v", v)
+			}
+		}
+		fmt.Println(row)
+		n++
+		return *limit == 0 || n < *limit
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dsosql: %d rows\n", n)
+}
+
+// queryRemote runs the query against a dsosd HTTP endpoint and streams the
+// CSV response to stdout.
+func queryRemote(base, index string, job, rank int64, limit int) {
+	q := url.Values{}
+	q.Set("index", index)
+	if job >= 0 {
+		q.Set("job", fmt.Sprint(job))
+	}
+	if rank >= 0 {
+		q.Set("rank", fmt.Sprint(rank))
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	resp, err := http.Get(base + "/query?" + q.Encode())
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("dsosd returned %s: %s", resp.Status, body))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsosql:", err)
+	os.Exit(1)
+}

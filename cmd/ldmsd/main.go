@@ -1,0 +1,123 @@
+// ldmsd runs a real (non-simulated) LDMS daemon over TCP: it listens for
+// stream messages, optionally stores them (CSV or counting), and optionally
+// forwards them to a higher-level aggregator — one level of the paper's
+// multi-hop topology:
+//
+//	connector -> node ldmsd -> head aggregator -> remote aggregator+store
+//
+// Usage:
+//
+//	ldmsd -listen :4411 [-producer nid00040] [-tag darshanConnector]
+//	      [-forward host:4412] [-store-csv out.csv]
+//	      [-samplers meminfo,vmstat] [-sample-interval 1s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"darshanldms/internal/connector"
+	"darshanldms/internal/ldms"
+	"darshanldms/internal/rng"
+)
+
+func main() {
+	listen := flag.String("listen", ":4411", "TCP listen address")
+	producer := flag.String("producer", hostnameOr("ldmsd"), "producer name")
+	tag := flag.String("tag", connector.DefaultTag, "stream tag to handle")
+	forward := flag.String("forward", "", "upstream aggregator address (optional)")
+	storeCSV := flag.String("store-csv", "", "store messages as CSV to this file (optional)")
+	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval")
+	samplers := flag.String("samplers", "", "comma list of sampler plugins to run: meminfo,vmstat")
+	sampleEvery := flag.Duration("sample-interval", time.Second, "sampler interval")
+	flag.Parse()
+
+	d := ldms.NewDaemon("ldmsd", *producer)
+	count := &ldms.CountStore{}
+	d.AttachStore(*tag, count)
+
+	if *samplers != "" {
+		r := rng.New(uint64(time.Now().UnixNano()))
+		for _, name := range strings.Split(*samplers, ",") {
+			switch strings.TrimSpace(name) {
+			case "meminfo":
+				d.AddSampler(ldms.NewMeminfoSampler(64<<20, r.Derive("meminfo")))
+			case "vmstat":
+				d.AddSampler(ldms.NewVMStatSampler(r.Derive("vmstat")))
+			case "":
+			default:
+				fatal(fmt.Errorf("unknown sampler %q", name))
+			}
+		}
+		start := time.Now()
+		go func() {
+			tick := time.NewTicker(*sampleEvery)
+			defer tick.Stop()
+			for range tick.C {
+				d.SampleOnce(time.Since(start))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "ldmsd: sampling %s every %s\n", *samplers, *sampleEvery)
+	}
+
+	var csv *ldms.CSVStore
+	if *storeCSV != "" {
+		f, err := os.Create(*storeCSV)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		csv = ldms.NewCSVStore(f)
+		d.AttachStore(*tag, csv)
+	}
+	if *forward != "" {
+		client, err := ldms.DialTCP(*forward)
+		if err != nil {
+			fatal(err)
+		}
+		defer client.Close()
+		ldms.ForwardTCP(d, *tag, client)
+		fmt.Fprintf(os.Stderr, "ldmsd: forwarding tag %q to %s\n", *tag, *forward)
+	}
+
+	srv, err := ldms.ListenTCP(d, *listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "ldmsd: %s listening on %s (tag %q)\n", *producer, srv.Addr(), *tag)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*statsEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Fprintf(os.Stderr, "ldmsd: received=%d stored-bytes=%d metric-sets=%d\n", srv.Received(), count.Bytes(), len(d.Sets()))
+		case <-sig:
+			if csv != nil {
+				_ = csv.Flush()
+			}
+			fmt.Fprintf(os.Stderr, "ldmsd: shutting down after %d messages\n", srv.Received())
+			return
+		}
+	}
+}
+
+func hostnameOr(def string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return def
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ldmsd:", err)
+	os.Exit(1)
+}

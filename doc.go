@@ -1,0 +1,14 @@
+// Package darshanldms is a from-scratch Go reproduction of "LDMS Darshan
+// Connector: For Run Time Diagnosis of HPC Application I/O Performance"
+// (Walton, Schwaller, Aaziz, Solorzano — IEEE CLUSTER 2022).
+//
+// The repository rebuilds the paper's entire stack over a deterministic
+// discrete-event simulation of the evaluation machine: the Darshan I/O
+// characterization runtime (with DXT tracing and log format), the LDMS
+// metric service (streams, samplers, multi-hop aggregation, TCP
+// transport), the DSOS distributed object store, the Darshan-LDMS
+// Connector itself, analysis modules and a Grafana-style dashboard, plus
+// the four evaluation applications (HACC-IO, MPI-IO-TEST, HMMER, sw4) and
+// a harness that regenerates every table and figure of the evaluation
+// section. See README.md, DESIGN.md and EXPERIMENTS.md.
+package darshanldms

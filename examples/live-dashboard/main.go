@@ -1,0 +1,73 @@
+// live-dashboard: run the Figure 7/8/9 campaign and browse it in the
+// Grafana-style web dashboard.
+//
+// Five MPI-IO-TEST jobs run on NFS without collective buffering; the
+// second job executes during a file-system congestion window that also
+// defeats the client cache — the anomaly of the paper's Figures 7-9. The
+// retained DSOS data is then served at http://localhost:8080/ with
+// timeline, scatter and op-count panels per job (compare job 2 against the
+// others). Pass -render-only to write the SVG panels to ./dashboard/
+// instead of serving.
+//
+//	go run ./examples/live-dashboard [-addr :8080] [-render-only]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/harness"
+	"darshanldms/internal/webui"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	renderOnly := flag.Bool("render-only", false, "render SVG panels to ./dashboard/ and exit")
+	flag.Parse()
+
+	fmt.Fprintln(os.Stderr, "running MPI-IO-TEST campaign (5 jobs, job 2 congested)...")
+	camp, err := harness.MPIIOFigureCampaign(2022, 5, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(os.Stderr, "stored %d events for jobs %v\n",
+		camp.Client.Count(dsos.DarshanSchemaName), camp.JobIDs)
+
+	srv := webui.NewServer(camp.Client, nil)
+	if *renderOnly {
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		if err := os.MkdirAll("dashboard", 0o755); err != nil {
+			panic(err)
+		}
+		for _, job := range camp.JobIDs {
+			for _, chart := range []string{"timeline", "scatter", "ops"} {
+				resp, err := http.Get(fmt.Sprintf("%s/chart/job/%d/%s.svg", ts.URL, job, chart))
+				if err != nil {
+					panic(err)
+				}
+				out := filepath.Join("dashboard", fmt.Sprintf("job%d-%s.svg", job, chart))
+				f, err := os.Create(out)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := f.ReadFrom(resp.Body); err != nil {
+					panic(err)
+				}
+				resp.Body.Close()
+				f.Close()
+				fmt.Println("wrote", out)
+			}
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dashboard at http://localhost%s/ (job 2 is the anomalous one)\n", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Quickstart: the smallest complete Darshan-LDMS pipeline.
+//
+// A 16-rank HACC-IO job runs on a simulated 4-node cluster with a Lustre
+// file system. Darshan instruments its POSIX I/O; the Darshan-LDMS
+// Connector formats every event — with its absolute timestamp — into the
+// Table I JSON message and publishes it to the node-local LDMS Streams
+// bus, where a subscriber prints the first few messages and counts the
+// rest. At the end, the Darshan job summary is printed: the same data,
+// post-run, which is all you would have without the connector.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"darshanldms/internal/apps"
+	"darshanldms/internal/cluster"
+	"darshanldms/internal/connector"
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/ldms"
+	"darshanldms/internal/rng"
+	"darshanldms/internal/sim"
+	"darshanldms/internal/simfs"
+	"darshanldms/internal/streams"
+)
+
+func main() {
+	// 1. The simulated machine: engine, 4 nodes, a Lustre scratch system.
+	engine := sim.NewEngine()
+	defer engine.Close()
+	machine := cluster.New(engine, cluster.Voltrino())
+	fs := simfs.New(engine, simfs.DefaultLustre(), rng.New(7).Derive("fs"))
+
+	// 2. Darshan runtime for the job (DXT tracing on).
+	rt := darshan.NewRuntime(darshan.Config{
+		JobID: 259903, UID: 99066, Exe: "/projects/hacc/hacc-io", DXT: true,
+	}, 0)
+
+	// 3. One LDMSD per node; a subscriber stands in for the aggregation
+	//    chain (see examples/haccio-monitoring for the full multi-hop +
+	//    DSOS pipeline).
+	daemons := map[string]*ldms.Daemon{}
+	shown, total := 0, 0
+	for _, n := range machine.Nodes()[:4] {
+		d := ldms.NewDaemon("ldmsd-"+n.Name, n.Name)
+		d.Bus().Subscribe(connector.DefaultTag, func(m streams.Message) {
+			total++
+			if shown < 3 {
+				fmt.Printf("stream message %d: %s\n\n", total, m.Data)
+				shown++
+			}
+		})
+		daemons[n.Name] = d
+	}
+
+	// 4. Attach the connector to Darshan's event hook.
+	conn := connector.Attach(rt, connector.Config{
+		Encoder: jsonmsg.FastEncoder{},
+		Meta:    jsonmsg.JobMeta{UID: 99066, JobID: 259903, Exe: "/projects/hacc/hacc-io"},
+	}, func(producer string) *ldms.Daemon { return daemons[producer] })
+
+	// 5. Run a small HACC-IO job: 16 ranks, 200k particles each.
+	cfg := apps.HACCIOConfig{
+		Nodes: machine.Nodes()[:4], RanksPerNode: 4,
+		ParticlesPerRank: 200_000, Mode: "posix",
+	}
+	apps.RunHACCIO(apps.Env{E: engine, M: machine, FS: fs, RT: rt}, cfg)
+	if err := engine.Run(0); err != nil {
+		panic(err)
+	}
+
+	// 6. Results: run-time stream vs post-run summary.
+	st := conn.Stats()
+	fmt.Printf("job finished in %.2f virtual seconds\n", engine.Seconds())
+	fmt.Printf("connector: %d events detected, %d messages published (%d bytes)\n",
+		st.Detected, st.Published, st.Bytes)
+	fmt.Printf("subscribers received %d messages during the run\n\n", total)
+
+	fmt.Println("post-run Darshan summary (shared-file reduction):")
+	for _, r := range rt.Finalize(engine.Now(), cfg.Ranks()).Reduce() {
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,3 @@
+module darshanldms
+
+go 1.22

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/stats"
+)
+
+// LoadSample is one background-load observation (from the LDMS fsload
+// sampler) used for I/O-vs-system correlation.
+type LoadSample struct {
+	Time float64 // seconds
+	Load float64 // load factor, 1.0 nominal
+}
+
+// CorrelateLoad computes the Pearson correlation between a job's I/O
+// operation durations and the system load at the time of each operation
+// (nearest-sample alignment). A strong positive value identifies the
+// system, not the application, as the source of the variability — the
+// paper's root-cause question.
+func CorrelateLoad(pts []ScatterPoint, load []LoadSample) float64 {
+	if len(pts) == 0 || len(load) < 2 {
+		return 0
+	}
+	var durs, loads []float64
+	li := 0
+	for _, p := range pts {
+		for li+1 < len(load) && load[li+1].Time <= p.Time {
+			li++
+		}
+		durs = append(durs, p.Dur)
+		loads = append(loads, load[li].Load)
+	}
+	return stats.Pearson(durs, loads)
+}
+
+// Anomaly detection — the paper's stated purpose: "identify and better
+// understand any root cause(s) of application I/O performance variation"
+// at run time. Given a set of nominally identical jobs, DetectAnomalies
+// compares each job's per-op mean durations against the population and
+// flags outliers, the automated version of eyeballing Figure 7.
+
+// Anomaly is one flagged (job, op) pair.
+type Anomaly struct {
+	JobID   int64
+	Op      string
+	MeanDur float64 // this job's mean duration (s)
+	PopMean float64 // population median of the campaign
+	Factor  float64 // MeanDur / PopMean
+	Reason  string
+}
+
+// DetectAnomalies flags jobs whose mean read or write duration deviates
+// from the other jobs' population by more than threshold x (threshold <= 1
+// selects the default of 3).
+func DetectAnomalies(client *dsos.Client, jobIDs []int64, threshold float64) ([]Anomaly, error) {
+	if threshold <= 1 {
+		threshold = 3
+	}
+	durs := map[string]map[int64]float64{"read": {}, "write": {}}
+	for _, job := range jobIDs {
+		objs, err := QueryJob(client, job)
+		if err != nil {
+			return nil, err
+		}
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for _, o := range objs {
+			op := o[dsos.ColOp].(string)
+			if op != "read" && op != "write" {
+				continue
+			}
+			sums[op] += o[dsos.ColSegDur].(float64)
+			counts[op]++
+		}
+		for op := range durs {
+			if counts[op] > 0 {
+				durs[op][job] = sums[op] / float64(counts[op])
+			}
+		}
+	}
+	var out []Anomaly
+	for _, op := range []string{"read", "write"} {
+		perJob := durs[op]
+		if len(perJob) < 3 {
+			continue // need a population to compare against
+		}
+		// Global median (self included): robust as long as fewer than half
+		// the jobs are anomalous, and stable even for small campaigns where
+		// leave-one-out statistics collapse.
+		var all []float64
+		for _, v := range perJob {
+			all = append(all, v)
+		}
+		pop := stats.Median(all)
+		for _, job := range jobIDs {
+			mine, ok := perJob[job]
+			if !ok {
+				continue
+			}
+			if pop <= 0 {
+				continue
+			}
+			factor := mine / pop
+			if factor >= threshold || (factor > 0 && 1/factor >= threshold) {
+				out = append(out, Anomaly{
+					JobID:   job,
+					Op:      op,
+					MeanDur: mine,
+					PopMean: pop,
+					Factor:  factor,
+					Reason: fmt.Sprintf("mean %s duration %.3fs is %.1fx the population median %.3fs",
+						op, mine, math.Max(factor, 1/factor), pop),
+				})
+			}
+		}
+	}
+	return out, nil
+}

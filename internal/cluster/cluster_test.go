@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"darshanldms/internal/sim"
+)
+
+func TestVoltrinoShape(t *testing.T) {
+	cfg := Voltrino()
+	if cfg.Nodes != 24 || cfg.CoresPerNode != 32 {
+		t.Fatalf("unexpected Voltrino config: %+v", cfg)
+	}
+}
+
+func TestNodeNaming(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m := New(e, Voltrino())
+	if got := m.Node(6).Name; got != "nid00046" {
+		t.Fatalf("node 6 name = %q, want nid00046 (the paper's ProducerName)", got)
+	}
+	if !strings.HasPrefix(m.Node(0).Name, "nid") {
+		t.Fatalf("name %q", m.Node(0).Name)
+	}
+	if m.Head().Name != "voltrino-login" {
+		t.Fatalf("head name %q", m.Head().Name)
+	}
+}
+
+func TestComputeOversubscription(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	cfg := Voltrino()
+	cfg.CoresPerNode = 2
+	m := New(e, cfg)
+	n := m.Node(0)
+	var finished []time.Duration
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *sim.Proc) {
+			n.Compute(p, 10*time.Second)
+			finished = append(finished, p.Now())
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 4 workers on 2 cores: two finish at 10s, two at 20s.
+	if finished[0] != 10*time.Second || finished[3] != 20*time.Second {
+		t.Fatalf("finish times %v", finished)
+	}
+}
+
+func TestComputeZeroDuration(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m := New(e, Voltrino())
+	e.Spawn("w", func(p *sim.Proc) {
+		m.Node(0).Compute(p, 0)
+		m.Node(0).Compute(p, -time.Second)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("zero compute advanced time to %v", e.Now())
+	}
+}
+
+func TestNetDelayScalesWithSize(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m := New(e, Voltrino())
+	small := m.NetDelay(m.Node(0), m.Node(1), 64)
+	big := m.NetDelay(m.Node(0), m.Node(1), 64<<20)
+	if big <= small {
+		t.Fatalf("big transfer (%v) not slower than small (%v)", big, small)
+	}
+	local := m.NetDelay(m.Node(0), m.Node(0), 64<<20)
+	if local >= small {
+		t.Fatalf("intra-node delay %v should be below cross-node %v", local, small)
+	}
+}
+
+func TestTransferAdvancesClock(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m := New(e, Voltrino())
+	var d time.Duration
+	e.Spawn("sender", func(p *sim.Proc) {
+		d = m.Transfer(p, m.Node(0), m.Node(1), 1<<30)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != d || d <= 0 {
+		t.Fatalf("transfer duration %v, clock %v", d, e.Now())
+	}
+}
+
+func TestPlacementBlocks(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m := New(e, Voltrino())
+	rp := Place(m.Nodes()[:4], 64) // 16 ranks/node
+	if rp.RanksPerNode() != 16 {
+		t.Fatalf("ranks per node = %d", rp.RanksPerNode())
+	}
+	if rp.NodeOf(0) != m.Node(0) || rp.NodeOf(15) != m.Node(0) {
+		t.Fatal("rank 0-15 should be on node 0")
+	}
+	if rp.NodeOf(16) != m.Node(1) || rp.NodeOf(63) != m.Node(3) {
+		t.Fatal("block placement wrong")
+	}
+}
+
+func TestPlacementUnevenClamps(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	m := New(e, Voltrino())
+	rp := Place(m.Nodes()[:3], 10) // ceil(10/3)=4 per node
+	if rp.NodeOf(9) != m.Node(2) {
+		t.Fatal("last rank misplaced")
+	}
+}
+
+func TestPlacePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Place(nil, 4)
+}

@@ -1,0 +1,136 @@
+// Package connector implements the Darshan-LDMS Connector, the paper's
+// contribution: it attaches to the Darshan runtime's event hook, formats
+// every detected I/O event (with its absolute timestamp) into the Table I
+// JSON message, and publishes it to the LDMS Streams bus of the rank's
+// compute-node LDMSD — during the run, not post-run.
+//
+// The connector reproduces the paper's cost structure: formatting happens
+// synchronously in the application's I/O path, so its per-message cost is
+// charged to the rank. With the Sprintf encoder and an I/O-intensive
+// application (HMMER) this multiplies the runtime (Table IIc); with
+// formatting disabled it costs ~0.37%. The every-Nth-event sampling knob is
+// the paper's future-work mitigation, implemented here.
+package connector
+
+import (
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/ldms"
+)
+
+// DefaultTag is the single stream tag the connector publishes on
+// (Section IV-C: "the Darshan-LDMS Connector currently uses a single
+// unique LDMS Stream tag for this data source").
+const DefaultTag = "darshanConnector"
+
+// Config parameterizes the connector.
+type Config struct {
+	// Tag is the LDMS Streams tag; empty selects DefaultTag.
+	Tag string
+	// Encoder formats messages. Nil selects the Sprintf encoder — the
+	// paper's implementation, with its integer-to-string conversion cost.
+	Encoder jsonmsg.Encoder
+	// SampleEvery publishes only every Nth detected event (<=1 publishes
+	// all). Skipped events are not formatted, so they cost (almost)
+	// nothing — the paper's planned overhead mitigation.
+	SampleEvery int
+	// Modules restricts publication to the listed modules; nil forwards
+	// every instrumented module.
+	Modules []darshan.Module
+	// Meta is the job metadata stamped into every message.
+	Meta jsonmsg.JobMeta
+	// ChargeOverhead controls whether the encoder's simulated per-message
+	// CPU cost is charged to the rank. True reproduces the paper's
+	// overhead numbers; false isolates pure event accounting.
+	ChargeOverhead bool
+}
+
+// Stats counts connector activity.
+type Stats struct {
+	Detected  uint64 // events seen from the Darshan hook
+	Published uint64 // messages published to streams
+	Sampled   uint64 // events skipped by every-Nth sampling
+	Filtered  uint64 // events skipped by the module filter
+	Dropped   uint64 // publishes that found no subscriber (best effort)
+	Bytes     uint64 // encoded payload bytes
+}
+
+// Connector is an attached Darshan-LDMS connector.
+type Connector struct {
+	cfg      Config
+	enc      jsonmsg.Encoder
+	tag      string
+	modules  map[darshan.Module]bool
+	daemonOf func(producer string) *ldms.Daemon
+	stats    Stats
+}
+
+// Attach registers the connector on a Darshan runtime. daemonOf routes a
+// producer (node) name to that node's LDMSD — in the real deployment each
+// rank publishes to the daemon on its own compute node.
+func Attach(rt *darshan.Runtime, cfg Config, daemonOf func(producer string) *ldms.Daemon) *Connector {
+	c := New(cfg, daemonOf)
+	rt.AddListener(c.OnEvent)
+	return c
+}
+
+// New builds a connector without attaching it (callers can register
+// c.OnEvent themselves).
+func New(cfg Config, daemonOf func(producer string) *ldms.Daemon) *Connector {
+	if daemonOf == nil {
+		panic("connector: nil daemon router")
+	}
+	c := &Connector{cfg: cfg, daemonOf: daemonOf}
+	c.enc = cfg.Encoder
+	if c.enc == nil {
+		c.enc = jsonmsg.SprintfEncoder{}
+	}
+	c.tag = cfg.Tag
+	if c.tag == "" {
+		c.tag = DefaultTag
+	}
+	if cfg.Modules != nil {
+		c.modules = map[darshan.Module]bool{}
+		for _, m := range cfg.Modules {
+			c.modules[m] = true
+		}
+	}
+	return c
+}
+
+// Tag returns the stream tag in use.
+func (c *Connector) Tag() string { return c.tag }
+
+// Encoder returns the encoder in use.
+func (c *Connector) Encoder() jsonmsg.Encoder { return c.enc }
+
+// Stats returns a snapshot of the counters.
+func (c *Connector) Stats() Stats { return c.stats }
+
+// OnEvent is the darshan.Listener: it formats and publishes one event.
+func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
+	c.stats.Detected++
+	if c.modules != nil && !c.modules[ev.Module] {
+		c.stats.Filtered++
+		return
+	}
+	if n := c.cfg.SampleEvery; n > 1 && c.stats.Detected%uint64(n) != 0 {
+		c.stats.Sampled++
+		return
+	}
+	msg := jsonmsg.FromEvent(ev, c.cfg.Meta)
+	payload := c.enc.Encode(&msg)
+	if c.cfg.ChargeOverhead {
+		ctx.Charge(c.enc.SimCost())
+	}
+	d := c.daemonOf(ev.Producer)
+	if d == nil {
+		c.stats.Dropped++
+		return
+	}
+	c.stats.Published++
+	c.stats.Bytes += uint64(len(payload))
+	if d.Bus().PublishJSON(c.tag, payload) == 0 {
+		c.stats.Dropped++
+	}
+}

@@ -1,0 +1,276 @@
+package connector
+
+import (
+	"testing"
+	"time"
+
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/ldms"
+	"darshanldms/internal/rng"
+	"darshanldms/internal/sim"
+	"darshanldms/internal/simfs"
+)
+
+type env struct {
+	e      *sim.Engine
+	fs     *simfs.FileSystem
+	rt     *darshan.Runtime
+	daemon *ldms.Daemon
+	count  *ldms.CountStore
+}
+
+func newEnv(t *testing.T, cfg Config) (*env, *Connector) {
+	t.Helper()
+	e := sim.NewEngine()
+	t.Cleanup(e.Close)
+	fscfg := simfs.DefaultNFS()
+	fscfg.ShortWriteBase = -1
+	fscfg.OpenRetryBase = -1
+	fs := simfs.New(e, fscfg, rng.New(11).Derive("fs"))
+	rt := darshan.NewRuntime(darshan.Config{JobID: 100, UID: 5, Exe: "/bin/app", DXT: true}, 0)
+	d := ldms.NewDaemon("node-ldmsd", "nid00040")
+	count := &ldms.CountStore{}
+	tag := cfg.Tag
+	if tag == "" {
+		tag = DefaultTag
+	}
+	d.AttachStore(tag, count)
+	c := Attach(rt, cfg, func(string) *ldms.Daemon { return d })
+	return &env{e: e, fs: fs, rt: rt, daemon: d, count: count}, c
+}
+
+func runSimpleApp(t *testing.T, env *env, writes int) {
+	t.Helper()
+	env.e.Spawn("rank0", func(p *sim.Proc) {
+		ctx := darshan.NewCtx(0, "nid00040", p, nil)
+		f := darshan.OpenPosix(env.rt, env.fs, ctx, "/nscratch/out", true)
+		for i := 0; i < writes; i++ {
+			f.Write(p, int64(i)*4096, 4096)
+		}
+		f.Close(p)
+	})
+	if err := env.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishesEveryEvent(t *testing.T) {
+	env, c := newEnv(t, Config{Encoder: jsonmsg.FastEncoder{}})
+	runSimpleApp(t, env, 10)
+	st := c.Stats()
+	if st.Detected != 12 || st.Published != 12 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if env.count.Count() != 12 {
+		t.Fatalf("store received %d", env.count.Count())
+	}
+}
+
+func TestConnectorEndToEnd(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	fscfg := simfs.DefaultNFS()
+	fscfg.ShortWriteBase = -1
+	fscfg.OpenRetryBase = -1
+	fs := simfs.New(e, fscfg, rng.New(3).Derive("fs"))
+	rt := darshan.NewRuntime(darshan.Config{JobID: 42, UID: 9, Exe: "/bin/hacc"}, 0)
+	node := ldms.NewDaemon("node", "nid00046")
+	head := ldms.NewDaemon("head", "login")
+	remote := ldms.NewDaemon("remote", "shirley")
+	ldms.Chain(e, DefaultTag, 200*time.Microsecond, node, head, remote)
+	cluster := dsos.NewCluster(2, "darshan_data")
+	if err := dsos.SetupDarshan(cluster); err != nil {
+		t.Fatal(err)
+	}
+	client := dsos.Connect(cluster)
+	remote.AttachStore(DefaultTag, ldms.NewDSOSStore(client))
+
+	Attach(rt, Config{
+		Encoder: jsonmsg.FastEncoder{},
+		Meta:    jsonmsg.JobMeta{UID: 9, JobID: 42, Exe: "/bin/hacc"},
+	}, func(string) *ldms.Daemon { return node })
+
+	e.Spawn("rank3", func(p *sim.Proc) {
+		ctx := darshan.NewCtx(3, "nid00046", p, nil)
+		f := darshan.OpenPosix(rt, fs, ctx, "/nscratch/ckpt", true)
+		f.WriteFull(p, 0, 8<<20)
+		f.ReadFull(p, 0, 8<<20)
+		f.Close(p)
+		p.Sleep(time.Second) // let relayed messages arrive
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	objs, err := client.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 4 { // open, write, read, close
+		t.Fatalf("stored %d objects", len(objs))
+	}
+	open := objs[0]
+	if open[dsos.ColOp].(string) != "open" || open[dsos.ColType].(string) != jsonmsg.TypeMET {
+		t.Fatalf("first object %v", open)
+	}
+	if open[dsos.ColExe].(string) != "/bin/hacc" || open[dsos.ColFile].(string) != "/nscratch/ckpt" {
+		t.Fatalf("MET paths %v", open)
+	}
+	write := objs[1]
+	if write[dsos.ColOp].(string) != "write" || write[dsos.ColExe].(string) != jsonmsg.NA {
+		t.Fatalf("MOD write %v", write)
+	}
+	if write[dsos.ColSegLen].(int64) != 8<<20 {
+		t.Fatalf("write len %v", write[dsos.ColSegLen])
+	}
+	// Timestamps must ascend through the job.
+	last := 0.0
+	for _, o := range objs {
+		ts := o[dsos.ColSegTimestamp].(float64)
+		if ts < last {
+			t.Fatal("timestamps not monotone in job_rank_time order")
+		}
+		last = ts
+	}
+}
+
+func TestSamplingEveryNth(t *testing.T) {
+	env, c := newEnv(t, Config{Encoder: jsonmsg.FastEncoder{}, SampleEvery: 4})
+	runSimpleApp(t, env, 98) // 100 events total
+	st := c.Stats()
+	if st.Detected != 100 {
+		t.Fatalf("detected %d", st.Detected)
+	}
+	if st.Published != 25 {
+		t.Fatalf("published %d, want 25 (every 4th)", st.Published)
+	}
+	if st.Sampled != 75 {
+		t.Fatalf("sampled %d", st.Sampled)
+	}
+	if env.count.Count() != 25 {
+		t.Fatalf("store received %d", env.count.Count())
+	}
+}
+
+func TestSamplingReducesOverhead(t *testing.T) {
+	run := func(sampleEvery int) time.Duration {
+		e := sim.NewEngine()
+		defer e.Close()
+		fscfg := simfs.DefaultNFS()
+		fscfg.ShortWriteBase = -1
+		fscfg.OpenRetryBase = -1
+		fs := simfs.New(e, fscfg, rng.New(7).Derive("fs"))
+		rt := darshan.NewRuntime(darshan.Config{JobID: 1}, 0)
+		d := ldms.NewDaemon("node", "nid00040")
+		d.AttachStore(DefaultTag, &ldms.CountStore{})
+		Attach(rt, Config{SampleEvery: sampleEvery, ChargeOverhead: true}, func(string) *ldms.Daemon { return d })
+		e.Spawn("rank0", func(p *sim.Proc) {
+			ctx := darshan.NewCtx(0, "nid00040", p, nil)
+			f := darshan.OpenPosix(rt, fs, ctx, "/nscratch/o", true)
+			for i := 0; i < 2000; i++ {
+				f.Write(p, int64(i)*128, 128)
+			}
+			f.Close(p)
+		})
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	full := run(1)
+	sampled := run(10)
+	if float64(sampled) > 0.6*float64(full) {
+		t.Fatalf("every-10th sampling should cut runtime substantially: full=%v sampled=%v", full, sampled)
+	}
+}
+
+func TestModuleFilter(t *testing.T) {
+	env, c := newEnv(t, Config{
+		Encoder: jsonmsg.FastEncoder{},
+		Modules: []darshan.Module{darshan.ModMPIIO}, // POSIX filtered out
+	})
+	runSimpleApp(t, env, 5)
+	st := c.Stats()
+	if st.Published != 0 || st.Filtered != 7 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBestEffortDropWithoutStore(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	fscfg := simfs.DefaultNFS()
+	fscfg.ShortWriteBase = -1
+	fscfg.OpenRetryBase = -1
+	fs := simfs.New(e, fscfg, rng.New(1).Derive("fs"))
+	rt := darshan.NewRuntime(darshan.Config{JobID: 1}, 0)
+	d := ldms.NewDaemon("node", "nid00040") // no subscriber attached
+	c := Attach(rt, Config{Encoder: jsonmsg.FastEncoder{}}, func(string) *ldms.Daemon { return d })
+	e.Spawn("rank0", func(p *sim.Proc) {
+		ctx := darshan.NewCtx(0, "nid00040", p, nil)
+		f := darshan.OpenPosix(rt, fs, ctx, "/nscratch/o", true)
+		f.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Dropped != 2 || st.Published != 2 {
+		t.Fatalf("stats %+v (publishes with no subscriber must count as dropped)", st)
+	}
+}
+
+func TestOverheadChargeScalesWithEncoder(t *testing.T) {
+	run := func(enc jsonmsg.Encoder) time.Duration {
+		e := sim.NewEngine()
+		defer e.Close()
+		fscfg := simfs.DefaultLustre()
+		fscfg.ShortWriteBase = -1
+		fscfg.OpenRetryBase = -1
+		fs := simfs.New(e, fscfg, rng.New(13).Derive("fs"))
+		rt := darshan.NewRuntime(darshan.Config{JobID: 1}, 0)
+		d := ldms.NewDaemon("node", "nid00040")
+		d.AttachStore(DefaultTag, &ldms.CountStore{})
+		Attach(rt, Config{Encoder: enc, ChargeOverhead: true}, func(string) *ldms.Daemon { return d })
+		e.Spawn("rank0", func(p *sim.Proc) {
+			ctx := darshan.NewCtx(0, "nid00040", p, sim.NewVClock(p, 50*time.Millisecond))
+			f := darshan.OpenStdio(rt, fs, ctx, "/lscratch/db")
+			for i := 0; i < 20000; i++ {
+				f.Write(200)
+			}
+			f.Close()
+			ctx.VClock().Flush()
+		})
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	sprintf := run(jsonmsg.SprintfEncoder{})
+	none := run(jsonmsg.NoneEncoder{})
+	ratio := float64(sprintf) / float64(none)
+	if ratio < 3 {
+		t.Fatalf("sprintf encoder should inflate an I/O-intensive run: sprintf=%v none=%v (ratio %.2f)", sprintf, none, ratio)
+	}
+}
+
+func TestDefaultsAreThePapersImplementation(t *testing.T) {
+	c := New(Config{}, func(string) *ldms.Daemon { return nil })
+	if c.Tag() != "darshanConnector" {
+		t.Fatalf("tag %q", c.Tag())
+	}
+	if c.Encoder().Name() != "sprintf" {
+		t.Fatalf("encoder %q", c.Encoder().Name())
+	}
+}
+
+func TestNilRouterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}, nil)
+}

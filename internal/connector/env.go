@@ -1,0 +1,72 @@
+package connector
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/jsonmsg"
+)
+
+// The real deployment enables the connector by LD_PRELOADing the patched
+// Darshan library and steering it with environment variables. This file
+// provides the same switch panel: ConfigFromEnv builds a Config from a
+// DARSHAN_LDMS_* environment map (pass os.Environ() folded into a map, or
+// any other source).
+//
+//	DARSHAN_LDMS_ENABLE       "1"/"true" to enable (required)
+//	DARSHAN_LDMS_STREAM       stream tag (default "darshanConnector")
+//	DARSHAN_LDMS_ENCODER      "sprintf" (default) | "fast" | "none"
+//	DARSHAN_LDMS_SAMPLE_EVERY publish every Nth event (default 1 = all)
+//	DARSHAN_LDMS_MODS         comma list, e.g. "POSIX,MPIIO" (default all)
+
+// EnvPrefix is the environment namespace.
+const EnvPrefix = "DARSHAN_LDMS_"
+
+// ErrDisabled is returned by ConfigFromEnv when the connector is not
+// enabled in the environment.
+var ErrDisabled = fmt.Errorf("connector: %sENABLE not set", EnvPrefix)
+
+// ConfigFromEnv builds a Config from environment-style settings.
+func ConfigFromEnv(env map[string]string) (Config, error) {
+	cfg := Config{ChargeOverhead: true}
+	enable := strings.ToLower(env[EnvPrefix+"ENABLE"])
+	if enable != "1" && enable != "true" && enable != "yes" {
+		return cfg, ErrDisabled
+	}
+	cfg.Tag = env[EnvPrefix+"STREAM"]
+	switch enc := strings.ToLower(env[EnvPrefix+"ENCODER"]); enc {
+	case "", "sprintf":
+		cfg.Encoder = jsonmsg.SprintfEncoder{}
+	case "fast":
+		cfg.Encoder = jsonmsg.FastEncoder{}
+	case "none":
+		cfg.Encoder = jsonmsg.NoneEncoder{}
+	default:
+		return cfg, fmt.Errorf("connector: unknown %sENCODER %q", EnvPrefix, enc)
+	}
+	if v := env[EnvPrefix+"SAMPLE_EVERY"]; v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return cfg, fmt.Errorf("connector: bad %sSAMPLE_EVERY %q", EnvPrefix, v)
+		}
+		cfg.SampleEvery = n
+	}
+	if v := env[EnvPrefix+"MODS"]; v != "" {
+		for _, m := range strings.Split(v, ",") {
+			m = strings.TrimSpace(strings.ToUpper(m))
+			if m == "" {
+				continue
+			}
+			switch darshan.Module(m) {
+			case darshan.ModPOSIX, darshan.ModMPIIO, darshan.ModSTDIO,
+				darshan.ModH5F, darshan.ModH5D, darshan.ModLUSTRE, darshan.ModPNETCDF:
+				cfg.Modules = append(cfg.Modules, darshan.Module(m))
+			default:
+				return cfg, fmt.Errorf("connector: unknown module %q in %sMODS", m, EnvPrefix)
+			}
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,69 @@
+package connector
+
+import (
+	"errors"
+	"testing"
+
+	"darshanldms/internal/darshan"
+)
+
+func TestConfigFromEnvDisabled(t *testing.T) {
+	for _, env := range []map[string]string{
+		{},
+		{"DARSHAN_LDMS_ENABLE": "0"},
+		{"DARSHAN_LDMS_ENABLE": "no"},
+	} {
+		if _, err := ConfigFromEnv(env); !errors.Is(err, ErrDisabled) {
+			t.Fatalf("env %v: err %v", env, err)
+		}
+	}
+}
+
+func TestConfigFromEnvDefaults(t *testing.T) {
+	cfg, err := ConfigFromEnv(map[string]string{"DARSHAN_LDMS_ENABLE": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Encoder.Name() != "sprintf" {
+		t.Fatalf("default encoder %q (the paper's implementation is sprintf)", cfg.Encoder.Name())
+	}
+	if cfg.Tag != "" || cfg.SampleEvery != 0 || cfg.Modules != nil {
+		t.Fatalf("unexpected defaults %+v", cfg)
+	}
+	if !cfg.ChargeOverhead {
+		t.Fatal("overhead charging must default on")
+	}
+}
+
+func TestConfigFromEnvFull(t *testing.T) {
+	cfg, err := ConfigFromEnv(map[string]string{
+		"DARSHAN_LDMS_ENABLE":       "true",
+		"DARSHAN_LDMS_STREAM":       "myTag",
+		"DARSHAN_LDMS_ENCODER":      "fast",
+		"DARSHAN_LDMS_SAMPLE_EVERY": "10",
+		"DARSHAN_LDMS_MODS":         "POSIX, mpiio",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tag != "myTag" || cfg.Encoder.Name() != "fast" || cfg.SampleEvery != 10 {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	if len(cfg.Modules) != 2 || cfg.Modules[0] != darshan.ModPOSIX || cfg.Modules[1] != darshan.ModMPIIO {
+		t.Fatalf("modules %v", cfg.Modules)
+	}
+}
+
+func TestConfigFromEnvErrors(t *testing.T) {
+	cases := []map[string]string{
+		{"DARSHAN_LDMS_ENABLE": "1", "DARSHAN_LDMS_ENCODER": "xml"},
+		{"DARSHAN_LDMS_ENABLE": "1", "DARSHAN_LDMS_SAMPLE_EVERY": "0"},
+		{"DARSHAN_LDMS_ENABLE": "1", "DARSHAN_LDMS_SAMPLE_EVERY": "abc"},
+		{"DARSHAN_LDMS_ENABLE": "1", "DARSHAN_LDMS_MODS": "POSIX,NOPE"},
+	}
+	for _, env := range cases {
+		if _, err := ConfigFromEnv(env); err == nil {
+			t.Fatalf("env %v accepted", env)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package darshan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"darshanldms/internal/rng"
+	"darshanldms/internal/sim"
+	"darshanldms/internal/simfs"
+)
+
+func TestSizeBinBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{0, 0}, {100, 0}, {101, 1}, {1 << 10, 1}, {1<<10 + 1, 2},
+		{10 << 10, 2}, {100 << 10, 3}, {1 << 20, 4}, {4 << 20, 5},
+		{10 << 20, 6}, {100 << 20, 7}, {1 << 30, 8}, {1<<30 + 1, 9}, {1 << 40, 9},
+	}
+	for _, c := range cases {
+		if got := SizeBin(c.n); got != c.want {
+			t.Errorf("SizeBin(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSizeBinTotalProperty(t *testing.T) {
+	// Every size lands in exactly one valid bin.
+	f := func(n int64) bool {
+		if n < 0 {
+			n = -n
+		}
+		b := SizeBin(n)
+		return b >= 0 && b < NumSizeBins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeHistogramAccumulates(t *testing.T) {
+	e, fs, rt := testEnv(t)
+	e.Spawn("app", func(p *sim.Proc) {
+		ctx := ctxFor(p)
+		f := OpenPosix(rt, fs, ctx, "/nscratch/h", true)
+		f.Write(p, 0, 50)        // bin 0
+		f.Write(p, 50, 50)       // bin 0
+		f.Write(p, 100, 2048)    // bin 2 (1K..10K)
+		f.Write(p, 4096, 16<<20) // bin 7 (10M..100M)
+		f.Read(p, 0, 512)        // bin 1
+		f.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	r := rt.Finalize(e.Now(), 1).Records[0]
+	if r.SizeWriteBins[0] != 2 || r.SizeWriteBins[2] != 1 || r.SizeWriteBins[7] != 1 {
+		t.Fatalf("write bins %v", r.SizeWriteBins)
+	}
+	if r.SizeReadBins[1] != 1 {
+		t.Fatalf("read bins %v", r.SizeReadBins)
+	}
+	var total int64
+	for _, v := range r.SizeWriteBins {
+		total += v
+	}
+	if total != r.Writes {
+		t.Fatalf("write bins sum %d != writes %d", total, r.Writes)
+	}
+}
+
+func TestSequentialConsecutiveCounters(t *testing.T) {
+	e, fs, rt := testEnv(t)
+	e.Spawn("app", func(p *sim.Proc) {
+		ctx := ctxFor(p)
+		f := OpenPosix(rt, fs, ctx, "/nscratch/s", true)
+		f.Write(p, 0, 100)   // first: neither
+		f.Write(p, 100, 100) // consecutive (and sequential)
+		f.Write(p, 500, 100) // sequential only (gap)
+		f.Write(p, 200, 100) // backwards: neither
+		f.Write(p, 300, 100) // consecutive again
+		f.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	r := rt.Finalize(e.Now(), 1).Records[0]
+	if r.SeqWrites != 3 { // ops 2,3,5
+		t.Fatalf("seq writes %d", r.SeqWrites)
+	}
+	if r.ConsecWrites != 2 { // ops 2,5
+		t.Fatalf("consec writes %d", r.ConsecWrites)
+	}
+}
+
+func TestLustreModuleRecordsStriping(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	cfg := simfs.DefaultLustre()
+	cfg.ShortWriteBase = -1
+	cfg.OpenRetryBase = -1
+	fs := simfs.New(e, cfg, rng.New(3).Derive("fs"))
+	rt := NewRuntime(Config{JobID: 1}, 0)
+	events := int64(0)
+	rt.AddListener(func(ctx *Ctx, ev *Event) { events++ })
+	e.Spawn("app", func(p *sim.Proc) {
+		ctx := ctxFor(p)
+		f := OpenPosix(rt, fs, ctx, "/lscratch/striped", true)
+		f.Write(p, 0, 1<<20)
+		f.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var lrec *Record
+	for _, r := range rt.Finalize(e.Now(), 1).Records {
+		if r.Module == ModLUSTRE {
+			lrec = r
+		}
+	}
+	if lrec == nil {
+		t.Fatal("no LUSTRE record")
+	}
+	if lrec.StripeSize != 4<<20 || lrec.StripeCount != 8 {
+		t.Fatalf("stripe %d x %d", lrec.StripeSize, lrec.StripeCount)
+	}
+	// The LUSTRE module is counters-only: 3 POSIX events, no LUSTRE events.
+	if events != 3 {
+		t.Fatalf("events %d (LUSTRE module must not publish events)", events)
+	}
+}
+
+func TestNFSOpenHasNoLustreRecord(t *testing.T) {
+	e, fs, rt := testEnv(t) // NFS
+	e.Spawn("app", func(p *sim.Proc) {
+		ctx := ctxFor(p)
+		f := OpenPosix(rt, fs, ctx, "/nscratch/plain", true)
+		f.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rt.Finalize(e.Now(), 1).Records {
+		if r.Module == ModLUSTRE {
+			t.Fatal("LUSTRE record for an NFS file")
+		}
+	}
+}
+
+func TestReduceSumsNewCounters(t *testing.T) {
+	e, fs, rt := testEnv(t)
+	const nprocs = 3
+	for i := 0; i < nprocs; i++ {
+		i := i
+		e.Spawn("rank", func(p *sim.Proc) {
+			ctx := NewCtx(i, "nid00040", p, nil)
+			f := OpenPosix(rt, fs, ctx, "/nscratch/shared", true)
+			base := int64(i) << 20
+			f.Write(p, base, 1000)
+			f.Write(p, base+1000, 1000) // consecutive per rank
+			f.Close(p)
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	reduced := rt.Finalize(e.Now(), nprocs).Reduce()
+	if len(reduced) != 1 {
+		t.Fatalf("reduced %d", len(reduced))
+	}
+	r := reduced[0]
+	if r.ConsecWrites != nprocs {
+		t.Fatalf("reduced consec writes %d", r.ConsecWrites)
+	}
+	if r.SizeWriteBins[1] != 2*nprocs { // 1000B -> bin 1
+		t.Fatalf("reduced size bins %v", r.SizeWriteBins)
+	}
+}

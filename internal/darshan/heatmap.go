@@ -1,0 +1,119 @@
+package darshan
+
+import "time"
+
+// Heatmap is the HEATMAP module of recent Darshan releases: per-rank,
+// fixed-width time bins accumulating read/write byte volume. It is the
+// post-run cousin of the connector's live timeline (Fig 9); keeping both
+// makes the comparison between the two paths direct.
+type Heatmap struct {
+	BinWidth time.Duration
+	nranks   int
+	read     [][]int64 // [rank][bin]
+	write    [][]int64
+	maxBins  int
+}
+
+// NewHeatmap creates a heatmap for nranks ranks with the given bin width.
+func NewHeatmap(nranks int, binWidth time.Duration) *Heatmap {
+	if nranks <= 0 || binWidth <= 0 {
+		panic("darshan: invalid heatmap parameters")
+	}
+	return &Heatmap{
+		BinWidth: binWidth,
+		nranks:   nranks,
+		read:     make([][]int64, nranks),
+		write:    make([][]int64, nranks),
+		maxBins:  1 << 20, // safety bound
+	}
+}
+
+// Attach registers the heatmap as a runtime listener.
+func (h *Heatmap) Attach(rt *Runtime) {
+	rt.AddListener(func(ctx *Ctx, ev *Event) { h.Observe(ev) })
+}
+
+// Observe accumulates one event.
+func (h *Heatmap) Observe(ev *Event) {
+	if ev.Rank < 0 || ev.Rank >= h.nranks || ev.Length <= 0 {
+		return
+	}
+	var grid *[]int64
+	switch ev.Op {
+	case OpRead:
+		grid = &h.read[ev.Rank]
+	case OpWrite:
+		grid = &h.write[ev.Rank]
+	default:
+		return
+	}
+	bin := int(ev.End / h.BinWidth)
+	if bin < 0 || bin > h.maxBins {
+		return
+	}
+	for len(*grid) <= bin {
+		*grid = append(*grid, 0)
+	}
+	(*grid)[bin] += ev.Length
+}
+
+// Bins returns the number of time bins currently covered.
+func (h *Heatmap) Bins() int {
+	n := 0
+	for r := 0; r < h.nranks; r++ {
+		if len(h.read[r]) > n {
+			n = len(h.read[r])
+		}
+		if len(h.write[r]) > n {
+			n = len(h.write[r])
+		}
+	}
+	return n
+}
+
+// ReadAt returns the read bytes of (rank, bin).
+func (h *Heatmap) ReadAt(rank, bin int) int64 {
+	if rank < 0 || rank >= h.nranks || bin < 0 || bin >= len(h.read[rank]) {
+		return 0
+	}
+	return h.read[rank][bin]
+}
+
+// WriteAt returns the written bytes of (rank, bin).
+func (h *Heatmap) WriteAt(rank, bin int) int64 {
+	if rank < 0 || rank >= h.nranks || bin < 0 || bin >= len(h.write[rank]) {
+		return 0
+	}
+	return h.write[rank][bin]
+}
+
+// ColumnTotals sums each time bin across ranks — the aggregate timeline.
+func (h *Heatmap) ColumnTotals() (read, write []int64) {
+	n := h.Bins()
+	read = make([]int64, n)
+	write = make([]int64, n)
+	for r := 0; r < h.nranks; r++ {
+		for b, v := range h.read[r] {
+			read[b] += v
+		}
+		for b, v := range h.write[r] {
+			write[b] += v
+		}
+	}
+	return read, write
+}
+
+// RankTotals sums each rank across time — the spatial distribution.
+func (h *Heatmap) RankTotals() (read, write []int64) {
+	read = make([]int64, h.nranks)
+	write = make([]int64, h.nranks)
+	for r := 0; r < h.nranks; r++ {
+		for _, v := range h.read[r] {
+			read[r] += v
+		}
+		for _, v := range h.write[r] {
+			write[r] += v
+		}
+	}
+	return read, write
+}

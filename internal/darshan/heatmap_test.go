@@ -1,0 +1,86 @@
+package darshan
+
+import (
+	"testing"
+	"time"
+
+	"darshanldms/internal/sim"
+)
+
+func TestHeatmapAccumulates(t *testing.T) {
+	h := NewHeatmap(4, time.Second)
+	h.Observe(&Event{Op: OpWrite, Rank: 0, Length: 100, End: 500 * time.Millisecond})
+	h.Observe(&Event{Op: OpWrite, Rank: 0, Length: 200, End: 700 * time.Millisecond})
+	h.Observe(&Event{Op: OpWrite, Rank: 1, Length: 50, End: 2500 * time.Millisecond})
+	h.Observe(&Event{Op: OpRead, Rank: 2, Length: 10, End: 1100 * time.Millisecond})
+	if h.WriteAt(0, 0) != 300 {
+		t.Fatalf("rank0 bin0 %d", h.WriteAt(0, 0))
+	}
+	if h.WriteAt(1, 2) != 50 {
+		t.Fatalf("rank1 bin2 %d", h.WriteAt(1, 2))
+	}
+	if h.ReadAt(2, 1) != 10 {
+		t.Fatalf("rank2 bin1 %d", h.ReadAt(2, 1))
+	}
+	if h.Bins() != 3 {
+		t.Fatalf("bins %d", h.Bins())
+	}
+}
+
+func TestHeatmapIgnoresNonIO(t *testing.T) {
+	h := NewHeatmap(2, time.Second)
+	h.Observe(&Event{Op: OpOpen, Rank: 0, Length: 0})
+	h.Observe(&Event{Op: OpClose, Rank: 0, Length: 0})
+	h.Observe(&Event{Op: OpWrite, Rank: 99, Length: 100}) // out of range
+	if h.Bins() != 0 {
+		t.Fatalf("bins %d", h.Bins())
+	}
+}
+
+func TestHeatmapTotals(t *testing.T) {
+	h := NewHeatmap(2, time.Second)
+	h.Observe(&Event{Op: OpWrite, Rank: 0, Length: 100, End: 0})
+	h.Observe(&Event{Op: OpWrite, Rank: 1, Length: 300, End: 1500 * time.Millisecond})
+	h.Observe(&Event{Op: OpRead, Rank: 1, Length: 70, End: 1600 * time.Millisecond})
+	rCols, wCols := h.ColumnTotals()
+	if wCols[0] != 100 || wCols[1] != 300 || rCols[1] != 70 {
+		t.Fatalf("columns r=%v w=%v", rCols, wCols)
+	}
+	rRanks, wRanks := h.RankTotals()
+	if wRanks[0] != 100 || wRanks[1] != 300 || rRanks[1] != 70 {
+		t.Fatalf("ranks r=%v w=%v", rRanks, wRanks)
+	}
+}
+
+func TestHeatmapAttachedToRuntime(t *testing.T) {
+	e, fs, rt := testEnv(t)
+	h := NewHeatmap(1, time.Second)
+	h.Attach(rt)
+	e.Spawn("app", func(p *sim.Proc) {
+		ctx := ctxFor(p)
+		f := OpenPosix(rt, fs, ctx, "/nscratch/hm", true)
+		f.WriteFull(p, 0, 8<<20)
+		f.ReadFull(p, 0, 8<<20)
+		f.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	_, wRanks := h.RankTotals()
+	if wRanks[0] != 8<<20 {
+		t.Fatalf("heatmap write total %d", wRanks[0])
+	}
+	rRanks, _ := h.RankTotals()
+	if rRanks[0] != 8<<20 {
+		t.Fatalf("heatmap read total %d", rRanks[0])
+	}
+}
+
+func TestHeatmapInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHeatmap(0, time.Second)
+}

@@ -1,0 +1,65 @@
+package darshan
+
+import (
+	"darshanldms/internal/mpi"
+	"darshanldms/internal/simfs"
+)
+
+// MPIFile wraps an mpi.File so that every MPI-IO level call is recorded in
+// the MPIIO module while the POSIX calls issued underneath (by collective
+// buffering or chunking) are captured by the instrumented PosixLayer — the
+// two interposition layers of the real Darshan.
+type MPIFile struct {
+	rt  *Runtime
+	ctx *Ctx
+	f   *mpi.File
+}
+
+// OpenMPI opens path collectively with full instrumentation: an MPIIO open
+// event for this rank plus the POSIX open events from the layer below.
+func OpenMPI(rt *Runtime, r *mpi.Rank, fs *simfs.FileSystem, pl PosixLayer, cfg mpi.IOConfig, path string, write bool) *MPIFile {
+	ctx := pl.Ctx(r.ID)
+	start := ctx.Now()
+	f := mpi.OpenFile(r, fs, pl, cfg, path, write)
+	rt.observe(ctx, ModMPIIO, OpOpen, path, 0, 0, start, ctx.Now(), nil)
+	return &MPIFile{rt: rt, ctx: ctx, f: f}
+}
+
+// WriteAt performs an instrumented independent write.
+func (m *MPIFile) WriteAt(offset, n int64) int64 {
+	start := m.ctx.Now()
+	written := m.f.WriteAt(offset, n)
+	m.rt.observe(m.ctx, ModMPIIO, OpWrite, m.f.Posix().Path(), offset, written, start, m.ctx.Now(), nil)
+	return written
+}
+
+// ReadAt performs an instrumented independent read.
+func (m *MPIFile) ReadAt(offset, n int64) int64 {
+	start := m.ctx.Now()
+	read := m.f.ReadAt(offset, n)
+	m.rt.observe(m.ctx, ModMPIIO, OpRead, m.f.Posix().Path(), offset, read, start, m.ctx.Now(), nil)
+	return read
+}
+
+// WriteAtAll performs an instrumented collective write.
+func (m *MPIFile) WriteAtAll(offset, n int64) int64 {
+	start := m.ctx.Now()
+	written := m.f.WriteAtAll(offset, n)
+	m.rt.observe(m.ctx, ModMPIIO, OpWrite, m.f.Posix().Path(), offset, written, start, m.ctx.Now(), nil)
+	return written
+}
+
+// ReadAtAll performs an instrumented collective read.
+func (m *MPIFile) ReadAtAll(offset, n int64) int64 {
+	start := m.ctx.Now()
+	read := m.f.ReadAtAll(offset, n)
+	m.rt.observe(m.ctx, ModMPIIO, OpRead, m.f.Posix().Path(), offset, read, start, m.ctx.Now(), nil)
+	return read
+}
+
+// Close closes the file collectively, recording the MPIIO close.
+func (m *MPIFile) Close() {
+	start := m.ctx.Now()
+	m.f.Close()
+	m.rt.observe(m.ctx, ModMPIIO, OpClose, m.f.Posix().Path(), 0, 0, start, m.ctx.Now(), nil)
+}

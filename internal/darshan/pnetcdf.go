@@ -1,0 +1,85 @@
+package darshan
+
+import (
+	"darshanldms/internal/mpi"
+	"darshanldms/internal/simfs"
+)
+
+// ModPNETCDF is the Parallel-NetCDF module ("some PnetCDF" in the paper's
+// module list). PnetCDF sits on MPI-IO, so its wrapper records a
+// PNETCDF-level event per variable access while the MPI-IO and POSIX
+// events appear from the layers below.
+const ModPNETCDF Module = "PNETCDF"
+
+// NCFile is an instrumented PnetCDF file handle.
+type NCFile struct {
+	rt   *Runtime
+	ctx  *Ctx
+	mf   *MPIFile
+	path string
+	vars []*NCVar
+}
+
+// OpenNC opens a NetCDF file collectively (ncmpi_open/create).
+func OpenNC(rt *Runtime, r *mpi.Rank, fs *simfs.FileSystem, pl PosixLayer, cfg mpi.IOConfig, path string, write bool) *NCFile {
+	ctx := pl.Ctx(r.ID)
+	start := ctx.Now()
+	mf := OpenMPI(rt, r, fs, pl, cfg, path, write)
+	rt.observe(ctx, ModPNETCDF, OpOpen, path, 0, 0, start, ctx.Now(), nil)
+	return &NCFile{rt: rt, ctx: ctx, mf: mf, path: path}
+}
+
+// NCVar is a defined variable within the file.
+type NCVar struct {
+	f        *NCFile
+	Name     string
+	Dims     []int64
+	elemSize int64
+	offset   int64
+}
+
+// DefineVar declares a variable (ncmpi_def_var); layout is appended after
+// previously defined variables, a simplification of the real format.
+func (f *NCFile) DefineVar(name string, dims []int64, elemSize int64) *NCVar {
+	var prior int64
+	for _, v := range f.vars {
+		prior += v.size()
+	}
+	v := &NCVar{f: f, Name: name, Dims: dims, elemSize: elemSize, offset: prior}
+	f.vars = append(f.vars, v)
+	return v
+}
+
+func (v *NCVar) size() int64 {
+	n := v.elemSize
+	for _, d := range v.Dims {
+		n *= d
+	}
+	return n
+}
+
+// PutVara writes count elements starting at element start collectively
+// (ncmpi_put_vara_all): a PNETCDF event over the MPI-IO collective write.
+func (v *NCVar) PutVara(start, count int64) {
+	f := v.f
+	t0 := f.ctx.Now()
+	bytes := count * v.elemSize
+	f.mf.WriteAtAll(v.offset+start*v.elemSize, bytes)
+	f.rt.observe(f.ctx, ModPNETCDF, OpWrite, f.path, v.offset+start*v.elemSize, bytes, t0, f.ctx.Now(), nil)
+}
+
+// GetVara reads count elements collectively (ncmpi_get_vara_all).
+func (v *NCVar) GetVara(start, count int64) {
+	f := v.f
+	t0 := f.ctx.Now()
+	bytes := count * v.elemSize
+	f.mf.ReadAtAll(v.offset+start*v.elemSize, bytes)
+	f.rt.observe(f.ctx, ModPNETCDF, OpRead, f.path, v.offset+start*v.elemSize, bytes, t0, f.ctx.Now(), nil)
+}
+
+// Close closes the file collectively.
+func (f *NCFile) Close() {
+	start := f.ctx.Now()
+	f.mf.Close()
+	f.rt.observe(f.ctx, ModPNETCDF, OpClose, f.path, 0, 0, start, f.ctx.Now(), nil)
+}

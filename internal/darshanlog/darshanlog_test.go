@@ -1,0 +1,195 @@
+package darshanlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"darshanldms/internal/darshan"
+)
+
+func sampleSummary() (*darshan.Summary, []darshan.DXTTrace) {
+	sum := &darshan.Summary{
+		JobID:  259903,
+		UID:    99066,
+		Exe:    "/home/user/mpi-io-test",
+		Start:  0,
+		End:    90 * time.Second,
+		NProcs: 4,
+		Events: 123,
+		Records: []*darshan.Record{
+			{
+				Module: darshan.ModPOSIX, RecordID: darshan.RecordID("/nscratch/a"), Rank: 0,
+				File: "/nscratch/a", Opens: 2, Closes: 2, Reads: 5, Writes: 10,
+				BytesRead: 5 << 20, BytesWritten: 10 << 20, MaxByteWritten: 10<<20 - 1,
+				Switches: 1, FirstOpen: time.Second, LastClose: 89 * time.Second,
+				ReadTime: 2 * time.Second, WriteTime: 40 * time.Second, MetaTime: time.Second,
+			},
+			{
+				Module: darshan.ModMPIIO, RecordID: darshan.RecordID("/nscratch/a"), Rank: 1,
+				File: "/nscratch/a", Opens: 1, Closes: 1, Writes: 10, BytesWritten: 160 << 20,
+			},
+		},
+	}
+	dxt := []darshan.DXTTrace{
+		{
+			Module: darshan.ModPOSIX, Rank: 0, RecordID: darshan.RecordID("/nscratch/a"),
+			Segments: []darshan.DXTSegment{
+				{Op: darshan.OpOpen, Start: time.Second, End: time.Second + time.Millisecond},
+				{Op: darshan.OpWrite, Offset: 0, Length: 1 << 20, Start: 2 * time.Second, End: 3 * time.Second},
+			},
+		},
+	}
+	return sum, dxt
+}
+
+func TestRoundTrip(t *testing.T) {
+	sum, dxt := sampleSummary()
+	var buf bytes.Buffer
+	if err := Write(&buf, sum, dxt); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.JobID != sum.JobID || log.UID != sum.UID || log.Exe != sum.Exe {
+		t.Fatalf("header %+v", log)
+	}
+	if log.Start != sum.Start || log.End != sum.End || log.NProcs != 4 || log.Events != 123 {
+		t.Fatalf("header %+v", log)
+	}
+	if len(log.Records) != 2 {
+		t.Fatalf("records %d", len(log.Records))
+	}
+	r := log.Records[0]
+	w := sum.Records[0]
+	if *r != *w {
+		t.Fatalf("record mismatch:\n got %+v\nwant %+v", r, w)
+	}
+	if len(log.DXT) != 1 || len(log.DXT[0].Segments) != 2 {
+		t.Fatalf("dxt %+v", log.DXT)
+	}
+	if log.DXT[0].Segments[1].Length != 1<<20 {
+		t.Fatalf("segment %+v", log.DXT[0].Segments[1])
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	sum := &darshan.Summary{JobID: 1}
+	var buf bytes.Buffer
+	if err := Write(&buf, sum, nil); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 0 || len(log.DXT) != 0 {
+		t.Fatalf("empty log round-trip: %+v", log)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOT-A-LOG-FILE-AT-ALL")); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	sum, dxt := sampleSummary()
+	var buf bytes.Buffer
+	if err := Write(&buf, sum, dxt); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{5, len(Magic) + 2, len(raw) / 2} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDumpContainsCounters(t *testing.T) {
+	sum, dxt := sampleSummary()
+	var buf bytes.Buffer
+	if err := Write(&buf, sum, dxt); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Dump(&out, log); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# jobid: 259903",
+		"POSIX_BYTES_WRITTEN\t10485760",
+		"MPIIO_WRITES\t10",
+		"X_POSIX\t0\twrite",
+		"# nprocs: 4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("dump missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompressionEffective(t *testing.T) {
+	// Many similar records must compress well (the real format relies on
+	// libz the same way).
+	recs := make([]*darshan.Record, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, &darshan.Record{
+			Module: darshan.ModPOSIX, RecordID: 12345, Rank: i,
+			File: "/nscratch/shared-checkpoint-file", Opens: 1, Closes: 1,
+			Writes: 10, BytesWritten: 16 << 20,
+		})
+	}
+	sum := &darshan.Summary{JobID: 1, Records: recs}
+	var buf bytes.Buffer
+	if err := Write(&buf, sum, nil); err != nil {
+		t.Fatal(err)
+	}
+	rawSize := 2000 * 200 // ~200B/record uncompressed
+	if buf.Len() > rawSize/4 {
+		t.Fatalf("log barely compressed: %d bytes", buf.Len())
+	}
+	log, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 2000 {
+		t.Fatalf("records %d", len(log.Records))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(jobID int64, rank int16, opens, writes uint16, bytesW int64, file string) bool {
+		rec := &darshan.Record{
+			Module: darshan.ModPOSIX, RecordID: darshan.RecordID(file), Rank: int(rank),
+			File: file, Opens: int64(opens), Writes: int64(writes),
+			BytesWritten: bytesW, SeqWrites: int64(writes / 2),
+		}
+		rec.SizeWriteBins[darshan.SizeBin(bytesW)] = int64(writes)
+		sum := &darshan.Summary{JobID: jobID, Records: []*darshan.Record{rec}}
+		var buf bytes.Buffer
+		if err := Write(&buf, sum, nil); err != nil {
+			return false
+		}
+		log, err := Read(&buf)
+		if err != nil || len(log.Records) != 1 {
+			return false
+		}
+		got := log.Records[0]
+		return *got == *rec && log.JobID == jobID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

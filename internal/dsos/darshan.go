@@ -1,0 +1,132 @@
+package dsos
+
+import (
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/sos"
+)
+
+// DarshanSchemaName is the schema the connector's stream messages are
+// stored under (one row per seg entry, the CSV layout of Fig 3).
+const DarshanSchemaName = "darshanConnector"
+
+// Attribute positions in the darshan schema, for typed access without
+// string lookups on hot paths.
+const (
+	ColModule = iota
+	ColUID
+	ColProducerName
+	ColSwitches
+	ColFile
+	ColRank
+	ColFlushes
+	ColRecordID
+	ColExe
+	ColMaxByte
+	ColType
+	ColJobID
+	ColOp
+	ColCnt
+	ColSegOff
+	ColSegPtSel
+	ColSegDur
+	ColSegLen
+	ColSegNDims
+	ColSegIrregHSlab
+	ColSegRegHSlab
+	ColSegDataSet
+	ColSegNPoints
+	ColSegTimestamp
+)
+
+// DarshanSchema builds the schema for connector messages.
+func DarshanSchema() *sos.Schema {
+	s, err := sos.NewSchema(DarshanSchemaName, []sos.AttrSpec{
+		{Name: "module", Type: sos.TypeString},
+		{Name: "uid", Type: sos.TypeInt64},
+		{Name: "ProducerName", Type: sos.TypeString},
+		{Name: "switches", Type: sos.TypeInt64},
+		{Name: "file", Type: sos.TypeString},
+		{Name: "rank", Type: sos.TypeInt64},
+		{Name: "flushes", Type: sos.TypeInt64},
+		{Name: "record_id", Type: sos.TypeUint64},
+		{Name: "exe", Type: sos.TypeString},
+		{Name: "max_byte", Type: sos.TypeInt64},
+		{Name: "type", Type: sos.TypeString},
+		{Name: "job_id", Type: sos.TypeInt64},
+		{Name: "op", Type: sos.TypeString},
+		{Name: "cnt", Type: sos.TypeInt64},
+		{Name: "seg_off", Type: sos.TypeInt64},
+		{Name: "seg_pt_sel", Type: sos.TypeInt64},
+		{Name: "seg_dur", Type: sos.TypeFloat64},
+		{Name: "seg_len", Type: sos.TypeInt64},
+		{Name: "seg_ndims", Type: sos.TypeInt64},
+		{Name: "seg_irreg_hslab", Type: sos.TypeInt64},
+		{Name: "seg_reg_hslab", Type: sos.TypeInt64},
+		{Name: "seg_data_set", Type: sos.TypeString},
+		{Name: "seg_npoints", Type: sos.TypeInt64},
+		{Name: "seg_timestamp", Type: sos.TypeFloat64},
+	})
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	return s
+}
+
+// DarshanIndices are the joint indices the paper describes: combinations of
+// job id, rank and timestamp, each giving a different query performance.
+func DarshanIndices() []sos.IndexSpec {
+	return []sos.IndexSpec{
+		{Name: "job_rank_time", Schema: DarshanSchemaName, Attrs: []string{"job_id", "rank", "seg_timestamp"}},
+		{Name: "job_time_rank", Schema: DarshanSchemaName, Attrs: []string{"job_id", "seg_timestamp", "rank"}},
+		{Name: "time_job_rank", Schema: DarshanSchemaName, Attrs: []string{"seg_timestamp", "job_id", "rank"}},
+	}
+}
+
+// SetupDarshan installs the darshan schema and indices on the cluster.
+func SetupDarshan(c *Cluster) error {
+	if err := c.AddSchema(DarshanSchema()); err != nil {
+		return err
+	}
+	for _, spec := range DarshanIndices() {
+		if err := c.AddIndex(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ObjectsFromMessage converts a connector message into store objects, one
+// per seg entry.
+func ObjectsFromMessage(m *jsonmsg.Message) []sos.Object {
+	out := make([]sos.Object, 0, len(m.Seg))
+	for i := range m.Seg {
+		s := &m.Seg[i]
+		out = append(out, sos.Object{
+			m.Module,
+			m.UID,
+			m.ProducerName,
+			m.Switches,
+			m.File,
+			int64(m.Rank),
+			m.Flushes,
+			m.RecordID,
+			m.Exe,
+			m.MaxByte,
+			m.Type,
+			m.JobID,
+			m.Op,
+			m.Cnt,
+			s.Off,
+			s.PtSel,
+			s.Dur,
+			s.Len,
+			s.NDims,
+			s.IrregHSlab,
+			s.RegHSlab,
+			s.DataSet,
+			s.NPoints,
+			s.Timestamp,
+		})
+	}
+	return out
+}

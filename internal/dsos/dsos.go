@@ -1,0 +1,325 @@
+// Package dsos is the Distributed Scalable Object Store layer: a set of
+// dsosd daemons, each an independent sos.Container, with sharded ingest and
+// parallel queries whose per-daemon result streams are merged in index-key
+// order — matching the paper's description ("the DSOS Client API can
+// perform parallel queries to all dsosd in a DSOS cluster; the results are
+// returned in parallel and sorted based on the index selected by the
+// user").
+package dsos
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"darshanldms/internal/sos"
+)
+
+// Daemon is one dsosd instance: a storage server holding a container shard.
+// It is safe for concurrent use.
+type Daemon struct {
+	Name string
+	mu   sync.Mutex
+	cont *sos.Container
+}
+
+// NewDaemon creates a daemon around an empty container.
+func NewDaemon(name, containerName string) *Daemon {
+	return &Daemon{Name: name, cont: sos.NewContainer(containerName)}
+}
+
+// Container exposes the underlying container (callers must not mutate it
+// concurrently with daemon operations; the query path takes the lock).
+func (d *Daemon) Container() *sos.Container { return d.cont }
+
+// AddSchema registers a schema on this daemon.
+func (d *Daemon) AddSchema(s *sos.Schema) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cont.AddSchema(s)
+}
+
+// AddIndex declares an index on this daemon.
+func (d *Daemon) AddIndex(spec sos.IndexSpec) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, err := d.cont.AddIndex(spec)
+	return err
+}
+
+// Insert stores one object.
+func (d *Daemon) Insert(schema string, obj sos.Object) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cont.Insert(schema, obj)
+}
+
+// Count returns the number of objects under schema on this daemon.
+func (d *Daemon) Count(schema string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cont.Count(schema)
+}
+
+// rangeQuery collects objects with index-prefix keys in [from, to).
+func (d *Daemon) rangeQuery(index string, from, to sos.Key) ([]sos.Object, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cont.Range(index, from, to)
+}
+
+// Cluster is a DSOS cluster: several dsosd daemons on storage servers.
+type Cluster struct {
+	daemons []*Daemon
+	mu      sync.Mutex
+	next    int // round-robin ingest cursor
+}
+
+// NewCluster creates n daemons named dsosd0..dsosd(n-1), all hosting the
+// same logical container.
+func NewCluster(n int, containerName string) *Cluster {
+	if n <= 0 {
+		panic("dsos: cluster needs at least one daemon")
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.daemons = append(c.daemons, NewDaemon(fmt.Sprintf("dsosd%d", i), containerName))
+	}
+	return c
+}
+
+// NewClusterFromContainers wraps existing containers (e.g. restored
+// snapshots) as a cluster, one daemon per container.
+func NewClusterFromContainers(conts []*sos.Container) *Cluster {
+	if len(conts) == 0 {
+		panic("dsos: cluster needs at least one container")
+	}
+	c := &Cluster{}
+	for i, cont := range conts {
+		c.daemons = append(c.daemons, &Daemon{Name: fmt.Sprintf("dsosd%d", i), cont: cont})
+	}
+	return c
+}
+
+// Daemons returns the cluster members.
+func (c *Cluster) Daemons() []*Daemon { return c.daemons }
+
+// AddSchema registers the schema on every daemon.
+func (c *Cluster) AddSchema(s *sos.Schema) error {
+	for _, d := range c.daemons {
+		if err := d.AddSchema(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddIndex declares the index on every daemon.
+func (c *Cluster) AddIndex(spec sos.IndexSpec) error {
+	for _, d := range c.daemons {
+		if err := d.AddIndex(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Client is a DSOS client session.
+type Client struct {
+	c *Cluster
+}
+
+// Connect returns a client for the cluster.
+func Connect(c *Cluster) *Client { return &Client{c: c} }
+
+// Cluster returns the cluster this client is connected to.
+func (cl *Client) Cluster() *Cluster { return cl.c }
+
+// Insert shards the object round-robin across the daemons (high ingest
+// rate: each daemon takes 1/n of the stream).
+func (cl *Client) Insert(schema string, obj sos.Object) error {
+	cl.c.mu.Lock()
+	d := cl.c.daemons[cl.c.next%len(cl.c.daemons)]
+	cl.c.next++
+	cl.c.mu.Unlock()
+	return d.Insert(schema, obj)
+}
+
+// Count sums object counts across daemons.
+func (cl *Client) Count(schema string) int {
+	total := 0
+	for _, d := range cl.c.daemons {
+		total += d.Count(schema)
+	}
+	return total
+}
+
+// Query runs the range query on every daemon in parallel and merges the
+// per-daemon (already index-ordered) results into one stream ordered by the
+// index key. from/to are prefixes of the index attributes; to is exclusive
+// and nil bounds are open.
+func (cl *Client) Query(index string, from, to sos.Key) ([]sos.Object, error) {
+	type result struct {
+		objs []sos.Object
+		err  error
+	}
+	results := make([]result, len(cl.c.daemons))
+	var wg sync.WaitGroup
+	for i, d := range cl.c.daemons {
+		wg.Add(1)
+		go func(i int, d *Daemon) {
+			defer wg.Done()
+			objs, err := d.rangeQuery(index, from, to)
+			results[i] = result{objs, err}
+		}(i, d)
+	}
+	wg.Wait()
+	lists := make([][]sos.Object, 0, len(results))
+	total := 0
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		lists = append(lists, r.objs)
+		total += len(r.objs)
+	}
+	// The daemons share the index definition; fetch key positions once.
+	keyAttrs, err := cl.keyExtractor(index)
+	if err != nil {
+		return nil, err
+	}
+	return mergeOrdered(lists, keyAttrs, total), nil
+}
+
+// DeleteJob removes every stored event of the given job from all daemons
+// (retention management) and compacts. It returns the number of objects
+// removed.
+func (cl *Client) DeleteJob(jobID int64) (int, error) {
+	total := 0
+	for _, d := range cl.c.daemons {
+		d.mu.Lock()
+		n, err := d.cont.DeleteWhere("job_rank_time", sos.Key{jobID}, sos.Key{jobID + 1})
+		if err == nil {
+			d.cont.Compact(DarshanSchemaName)
+		}
+		d.mu.Unlock()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// DistinctJobs returns the sorted distinct job ids present in the darshan
+// schema, discovered by index hopping (seek to job+1 after each hit) so the
+// cost is O(jobs x log n) rather than a full scan.
+func (cl *Client) DistinctJobs() ([]int64, error) {
+	seen := map[int64]bool{}
+	for _, d := range cl.c.daemons {
+		var from sos.Key
+		for {
+			var job int64
+			found := false
+			d.mu.Lock()
+			err := d.cont.Iter("job_rank_time", from, func(o sos.Object) bool {
+				job = o[ColJobID].(int64)
+				found = true
+				return false
+			})
+			d.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			if !found {
+				break
+			}
+			seen[job] = true
+			from = sos.Key{job + 1}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for j := range seen {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// keyExtractor returns the attribute positions of the index key.
+func (cl *Client) keyExtractor(index string) ([]int, error) {
+	d := cl.c.daemons[0]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ix := d.cont.Index(index)
+	if ix == nil {
+		return nil, fmt.Errorf("dsos: unknown index %q", index)
+	}
+	spec := ix.Spec()
+	sch := d.cont.Schema(spec.Schema)
+	idxs := make([]int, len(spec.Attrs))
+	for i, a := range spec.Attrs {
+		idxs[i] = sch.AttrIndex(a)
+	}
+	return idxs, nil
+}
+
+// mergeOrdered k-way merges index-ordered object lists by their key
+// attributes using a loser-free binary heap: O(total log k).
+func mergeOrdered(lists [][]sos.Object, keyAttrs []int, total int) []sos.Object {
+	keyOf := func(o sos.Object) sos.Key {
+		k := make(sos.Key, 0, len(keyAttrs))
+		for _, a := range keyAttrs {
+			k = append(k, o[a])
+		}
+		return k
+	}
+	h := &mergeHeap{}
+	for i, lst := range lists {
+		if len(lst) > 0 {
+			h.items = append(h.items, mergeItem{key: keyOf(lst[0]), list: i, seq: i})
+		}
+	}
+	heap.Init(h)
+	out := make([]sos.Object, 0, total)
+	cursors := make([]int, len(lists))
+	for h.Len() > 0 {
+		it := h.items[0]
+		lst := lists[it.list]
+		out = append(out, lst[cursors[it.list]])
+		cursors[it.list]++
+		if cursors[it.list] < len(lst) {
+			h.items[0] = mergeItem{key: keyOf(lst[cursors[it.list]]), list: it.list, seq: it.list}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}
+
+type mergeItem struct {
+	key  sos.Key
+	list int
+	seq  int // stable tiebreak: lower daemon index first
+}
+
+type mergeHeap struct{ items []mergeItem }
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	if c := sos.CompareKeys(h.items[i].key, h.items[j].key); c != 0 {
+		return c < 0
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"darshanldms/internal/analysis"
+)
+
+// RenderTableII renders a Table II panel in the paper's layout.
+func RenderTableII(title string, cells []*CellResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s %14s %12s %14s %14s %12s\n",
+		"Configuration", "Avg. Messages", "Rate (m/s)", "Darshan (s)", "dC (s)", "% Overhead")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-28s %14.0f %12.1f %14.2f %14.2f %11.2f%%\n",
+			c.Name, c.AvgMessages, c.Rate, c.AvgDarshan, c.AvgDC, c.OverheadPct)
+	}
+	return b.String()
+}
+
+// RenderAblation renders the encoder ablation rows.
+func RenderAblation(rows []*AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Encoder ablation (HMMER): JSON formatting cost isolated\n")
+	fmt.Fprintf(&b, "%-8s %-8s %14s %14s %12s\n", "FS", "Encoder", "Darshan (s)", "dC (s)", "% Overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8s %14.2f %14.2f %11.2f%%\n",
+			r.FSKind, r.Encoder, r.AvgDarshan, r.AvgDC, r.OverheadPct)
+	}
+	return b.String()
+}
+
+// RenderSweep renders the sampling sweep.
+func RenderSweep(points []*SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("Sampling sweep (HMMER, sprintf encoder): overhead vs every-Nth-event rate\n")
+	fmt.Fprintf(&b, "%-8s %10s %14s %14s %12s %12s %10s\n",
+		"FS", "every Nth", "Darshan (s)", "dC (s)", "% Overhead", "messages", "coverage")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8s %10d %14.2f %14.2f %11.2f%% %12.0f %9.1f%%\n",
+			p.FSKind, p.SampleEvery, p.AvgDarshan, p.AvgDC, p.OverheadPct, p.Messages, p.Coverage*100)
+	}
+	return b.String()
+}
+
+// RenderFigure5 renders the per-configuration op-count bars with CI error
+// bars as text.
+func RenderFigure5(data map[string][]analysis.OpCountStat) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: mean I/O operation occurrences per job (95% CI)\n")
+	for _, label := range analysis.SortedKeys(data) {
+		fmt.Fprintf(&b, "  %s\n", label)
+		for _, s := range data[label] {
+			fmt.Fprintf(&b, "    %-6s mean=%10.1f  ±%8.1f   per-job=%v\n", s.Op, s.Mean, s.CI95, fmtFloats(s.PerJob))
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure6 renders per-node open/close counts.
+func RenderFigure6(rows []analysis.NodeOpCount) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: I/O requests per node (open/close), HACC-IO Lustre 10M, 2 jobs\n")
+	fmt.Fprintf(&b, "  %-12s %6s %-6s %6s\n", "node", "job", "op", "count")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %6d %-6s %6d\n", r.Node, r.JobID, r.Op, r.Count)
+	}
+	return b.String()
+}
+
+// RenderFigure7 renders mean read/write durations per job, flagging the
+// anomalous job.
+func RenderFigure7(rows []analysis.JobOpDuration) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: mean op durations per job (MPI-IO-TEST NFS independent)\n")
+	fmt.Fprintf(&b, "  %6s %-6s %12s %8s\n", "job", "op", "mean dur (s)", "ops")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %6d %-6s %12.3f %8d\n", r.JobID, r.Op, r.MeanDur, r.Count)
+	}
+	return b.String()
+}
+
+// RenderFigure8 renders the scatter as a coarse text summary: per decile of
+// the run, the median and max write durations plus read activity.
+func RenderFigure8(pts []analysis.ScatterPoint) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: op duration vs absolute time, job_id 2\n")
+	if len(pts) == 0 {
+		return b.String()
+	}
+	tMax := pts[len(pts)-1].Time
+	const buckets = 10
+	type agg struct {
+		wN, rN     int
+		wMax, rMax float64
+		wSum       float64
+	}
+	aggs := make([]agg, buckets)
+	for _, p := range pts {
+		idx := int(p.Time / tMax * buckets)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		a := &aggs[idx]
+		if p.Op == "write" {
+			a.wN++
+			a.wSum += p.Dur
+			if p.Dur > a.wMax {
+				a.wMax = p.Dur
+			}
+		} else {
+			a.rN++
+			if p.Dur > a.rMax {
+				a.rMax = p.Dur
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  %-14s %8s %12s %12s %8s %12s\n", "window (s)", "writes", "mean w (s)", "max w (s)", "reads", "max r (s)")
+	for i, a := range aggs {
+		meanW := 0.0
+		if a.wN > 0 {
+			meanW = a.wSum / float64(a.wN)
+		}
+		fmt.Fprintf(&b, "  %6.0f-%-7.0f %8d %12.2f %12.2f %8d %12.2f\n",
+			float64(i)*tMax/buckets, float64(i+1)*tMax/buckets, a.wN, meanW, a.wMax, a.rN, a.rMax)
+	}
+	return b.String()
+}
+
+// RenderFigure9 renders the aggregated byte timeline with text bars.
+func RenderFigure9(bins []analysis.TimelineBin) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: bytes per window aggregated across ranks, job_id 2\n")
+	var max float64
+	for _, bin := range bins {
+		if bin.WriteBytes > max {
+			max = bin.WriteBytes
+		}
+		if bin.ReadBytes > max {
+			max = bin.ReadBytes
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	fmt.Fprintf(&b, "  %-14s %12s %12s  %s\n", "window (s)", "write", "read", "profile (W=write R=read)")
+	for _, bin := range bins {
+		wBar := strings.Repeat("W", int(bin.WriteBytes/max*40))
+		rBar := strings.Repeat("R", int(bin.ReadBytes/max*40))
+		fmt.Fprintf(&b, "  %6.0f-%-7.0f %12s %12s  %s%s\n",
+			bin.Start, bin.End, fmtBytes(bin.WriteBytes), fmtBytes(bin.ReadBytes), wBar, rBar)
+	}
+	return b.String()
+}
+
+func fmtFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.0f", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB", v)
+}

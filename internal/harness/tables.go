@@ -1,0 +1,352 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"darshanldms/internal/apps"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/rng"
+	"darshanldms/internal/simfs"
+	"darshanldms/internal/stats"
+)
+
+// CellConfig describes one column of a Table II panel: an application
+// configuration measured Darshan-only and with the connector (dC),
+// Reps times each.
+type CellConfig struct {
+	Name       string
+	FSKind     simfs.Kind
+	Reps       int
+	Seed       uint64
+	EpochSigma float64 // campaign-to-campaign file-system drift
+	Encoder    jsonmsg.Encoder
+	UID        int
+	Exe        string
+	App        func(env apps.Env)
+}
+
+// CellResult is one measured column of Table II.
+type CellResult struct {
+	Name        string
+	FSKind      simfs.Kind
+	AvgMessages float64
+	Rate        float64 // messages per second, averaged over dC runs
+	AvgDarshan  float64 // seconds, Darshan-only
+	AvgDC       float64 // seconds, Darshan-LDMS Connector
+	OverheadPct float64
+	DarshanRuns []float64
+	DCRuns      []float64
+}
+
+// RunCell executes one cell: Reps Darshan-only runs under the baseline
+// campaign epoch, then Reps dC runs under a *different* epoch — the
+// paper's baselines were collected 1-2 weeks earlier, which is how
+// negative apparent overheads arise.
+func RunCell(cfg CellConfig) (*CellResult, error) {
+	if cfg.Reps <= 0 {
+		cfg.Reps = 5
+	}
+	root := rng.New(cfg.Seed)
+	baselineEpoch := simfs.DrawEpoch(root.Derive("campaign-baseline"), cfg.EpochSigma)
+	dcEpoch := simfs.DrawEpoch(root.Derive("campaign-dc"), cfg.EpochSigma)
+
+	res := &CellResult{Name: cfg.Name, FSKind: cfg.FSKind}
+	var msgSum float64
+	var rateSum float64
+	for rep := 0; rep < cfg.Reps; rep++ {
+		// Per-repetition jitter on top of the campaign epoch.
+		base, err := Run(RunOptions{
+			Seed:   root.DeriveN("rep-darshan", rep).Uint64(),
+			JobID:  int64(100*cfg.Seed%1000000) + int64(rep) + 1,
+			UID:    cfg.UID,
+			Exe:    cfg.Exe,
+			FSKind: cfg.FSKind,
+			Load:   repLoad(baselineEpoch, root.DeriveN("repload-b", rep)),
+			App:    cfg.App,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cell %s darshan rep %d: %w", cfg.Name, rep, err)
+		}
+		res.DarshanRuns = append(res.DarshanRuns, base.Runtime.Seconds())
+
+		dc, err := Run(RunOptions{
+			Seed:      root.DeriveN("rep-dc", rep).Uint64(),
+			JobID:     int64(100*cfg.Seed%1000000) + int64(rep) + 51,
+			UID:       cfg.UID,
+			Exe:       cfg.Exe,
+			FSKind:    cfg.FSKind,
+			Load:      repLoad(dcEpoch, root.DeriveN("repload-d", rep)),
+			Connector: true,
+			Encoder:   cfg.Encoder,
+			App:       cfg.App,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cell %s dC rep %d: %w", cfg.Name, rep, err)
+		}
+		res.DCRuns = append(res.DCRuns, dc.Runtime.Seconds())
+		msgSum += float64(dc.Messages)
+		rateSum += dc.Rate
+	}
+	res.AvgDarshan = stats.Mean(res.DarshanRuns)
+	res.AvgDC = stats.Mean(res.DCRuns)
+	res.AvgMessages = msgSum / float64(cfg.Reps)
+	res.Rate = rateSum / float64(cfg.Reps)
+	if res.AvgDarshan > 0 {
+		res.OverheadPct = (res.AvgDC - res.AvgDarshan) / res.AvgDarshan * 100
+	}
+	return res, nil
+}
+
+// repLoad derives a per-repetition load profile around the campaign epoch.
+func repLoad(campaign *simfs.LoadProfile, r *rng.Stream) *simfs.LoadProfile {
+	cp := *campaign
+	cp.Epoch = campaign.Epoch * math.Exp(r.Normal(0, 0.06))
+	cp.Wiggle = campaign.Wiggle
+	return &cp
+}
+
+// Scale shrinks an experiment for quick runs: 1.0 is the paper's full
+// configuration. Iterations, particles and families scale linearly (and so,
+// approximately, do runtimes and message counts).
+func scaleInt(full int, scale float64) int {
+	v := int(math.Round(float64(full) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func scaleInt64(full int64, scale float64) int64 {
+	v := int64(math.Round(float64(full) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// TableIIa regenerates the MPI-IO-TEST panel: {NFS, Lustre} x {collective,
+// independent}, 22 nodes, 16 MiB blocks, 10 iterations.
+func TableIIa(seed uint64, reps int, scale float64) ([]*CellResult, error) {
+	var out []*CellResult
+	for _, fsKind := range []simfs.Kind{simfs.NFS, simfs.Lustre} {
+		for _, coll := range []bool{true, false} {
+			fsKind, coll := fsKind, coll
+			name := fmt.Sprintf("%s/collective=%v", fsKind, coll)
+			cell, err := RunCell(CellConfig{
+				Name:       name,
+				FSKind:     fsKind,
+				Reps:       reps,
+				Seed:       seed ^ rng.New(seed).Derive(name).Uint64(),
+				EpochSigma: 0.05, // the MPI-IO campaigns drifted only a few percent
+				UID:        99066,
+				Exe:        "/projects/darshan/tests/mpi-io-test",
+				App: func(env apps.Env) {
+					cfg := apps.DefaultMPIIOTest(env.M.Nodes()[:22], coll)
+					cfg.Iterations = scaleInt(10, scale)
+					cfg.ReadBackIterations = scaleInt(2, scale)
+					apps.RunMPIIOTest(env, cfg)
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// TableIIb regenerates the HACC-IO panel: {NFS, Lustre} x {5M, 10M}
+// particles/rank on 16 nodes.
+func TableIIb(seed uint64, reps int, scale float64) ([]*CellResult, error) {
+	var out []*CellResult
+	for _, fsKind := range []simfs.Kind{simfs.NFS, simfs.Lustre} {
+		for _, particles := range []int64{5_000_000, 10_000_000} {
+			fsKind, particles := fsKind, particles
+			name := fmt.Sprintf("%s/particles=%dM", fsKind, particles/1_000_000)
+			cell, err := RunCell(CellConfig{
+				Name:       name,
+				FSKind:     fsKind,
+				Reps:       reps,
+				Seed:       seed ^ rng.New(seed).Derive(name).Uint64(),
+				EpochSigma: 0.18, // the HACC campaign shows the wildest drift (-36%..+12%)
+				UID:        99066,
+				Exe:        "/projects/hacc/hacc-io",
+				App: func(env apps.Env) {
+					cfg := apps.DefaultHACCIO(env.M.Nodes()[:16], scaleInt64(particles, scale))
+					apps.RunHACCIO(env, cfg)
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// TableIIc regenerates the HMMER panel: {NFS, Lustre}, 1 node, 32 ranks,
+// Pfam-A.seed input. The connector uses the Sprintf encoder — the paper's
+// sprintf() JSON formatting whose per-event cost dominates the runtime.
+func TableIIc(seed uint64, reps int, scale float64) ([]*CellResult, error) {
+	var out []*CellResult
+	for _, fsKind := range []simfs.Kind{simfs.NFS, simfs.Lustre} {
+		fsKind := fsKind
+		name := fmt.Sprintf("%s/Pfam-A.seed", fsKind)
+		cell, err := RunCell(CellConfig{
+			Name:       name,
+			FSKind:     fsKind,
+			Reps:       reps,
+			Seed:       seed ^ rng.New(seed).Derive(name).Uint64(),
+			EpochSigma: 0.08,
+			Encoder:    jsonmsg.SprintfEncoder{},
+			UID:        99066,
+			Exe:        "/projects/hmmer/bin/hmmbuild",
+			App: func(env apps.Env) {
+				cfg := apps.DefaultHMMER(env.M.Node(0), fsKind)
+				cfg.Families = scaleInt(apps.PfamASeedFamilies, scale)
+				apps.RunHMMER(env, cfg)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// SweepPoint is one point of the sampling sweep: the overhead of the
+// connector when publishing only every Nth event.
+type SweepPoint struct {
+	SampleEvery int
+	FSKind      simfs.Kind
+	AvgDarshan  float64
+	AvgDC       float64
+	OverheadPct float64
+	Messages    float64
+	Coverage    float64 // fraction of events published
+}
+
+// SamplingSweep measures HMMER overhead versus the every-Nth-event
+// sampling rate — the curve behind the paper's future-work proposal
+// ("allow users to collect every n-th I/O event ... without having to
+// compensate in runtime performance"). Same-epoch campaigns isolate the
+// connector cost.
+func SamplingSweep(seed uint64, reps int, scale float64, rates []int) ([]*SweepPoint, error) {
+	if len(rates) == 0 {
+		rates = []int{1, 2, 10, 100}
+	}
+	var out []*SweepPoint
+	for _, fsKind := range []simfs.Kind{simfs.NFS, simfs.Lustre} {
+		for _, n := range rates {
+			fsKind, n := fsKind, n
+			name := fmt.Sprintf("sweep/%s/every-%d", fsKind, n)
+			root := rng.New(seed ^ rng.New(seed).Derive(name).Uint64())
+			var darshanRuns, dcRuns, msgs, events []float64
+			for rep := 0; rep < maxInt(1, reps); rep++ {
+				base, err := Run(RunOptions{
+					Seed: root.DeriveN("b", rep).Uint64(), JobID: 1, UID: 99066,
+					Exe: "/projects/hmmer/bin/hmmbuild", FSKind: fsKind,
+					App: hmmerApp(fsKind, scale),
+				})
+				if err != nil {
+					return nil, err
+				}
+				dc, err := Run(RunOptions{
+					Seed: root.DeriveN("b", rep).Uint64(), JobID: 2, UID: 99066,
+					Exe: "/projects/hmmer/bin/hmmbuild", FSKind: fsKind,
+					Connector: true, Encoder: jsonmsg.SprintfEncoder{}, SampleEvery: n,
+					App: hmmerApp(fsKind, scale),
+				})
+				if err != nil {
+					return nil, err
+				}
+				darshanRuns = append(darshanRuns, base.Runtime.Seconds())
+				dcRuns = append(dcRuns, dc.Runtime.Seconds())
+				msgs = append(msgs, float64(dc.Messages))
+				events = append(events, float64(dc.Events))
+			}
+			pt := &SweepPoint{
+				SampleEvery: n,
+				FSKind:      fsKind,
+				AvgDarshan:  stats.Mean(darshanRuns),
+				AvgDC:       stats.Mean(dcRuns),
+				Messages:    stats.Mean(msgs),
+			}
+			if pt.AvgDarshan > 0 {
+				pt.OverheadPct = (pt.AvgDC - pt.AvgDarshan) / pt.AvgDarshan * 100
+			}
+			if ev := stats.Mean(events); ev > 0 {
+				pt.Coverage = pt.Messages / ev
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+func hmmerApp(fsKind simfs.Kind, scale float64) func(apps.Env) {
+	return func(env apps.Env) {
+		cfg := apps.DefaultHMMER(env.M.Node(0), fsKind)
+		cfg.Families = scaleInt(apps.PfamASeedFamilies, scale)
+		apps.RunHMMER(env, cfg)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblationResult is one row of the encoder ablation (Section VI-A: "tests
+// ... without the sprintf() ... average overhead was 0.37%").
+type AblationResult struct {
+	Encoder     string
+	FSKind      simfs.Kind
+	AvgDarshan  float64
+	AvgDC       float64
+	OverheadPct float64
+}
+
+// EncoderAblation measures HMMER overhead under each encoder.
+func EncoderAblation(seed uint64, reps int, scale float64) ([]*AblationResult, error) {
+	var out []*AblationResult
+	for _, fsKind := range []simfs.Kind{simfs.NFS, simfs.Lustre} {
+		for _, enc := range []jsonmsg.Encoder{jsonmsg.SprintfEncoder{}, jsonmsg.FastEncoder{}, jsonmsg.NoneEncoder{}} {
+			fsKind, enc := fsKind, enc
+			name := fmt.Sprintf("ablate/%s/%s", fsKind, enc.Name())
+			cell, err := RunCell(CellConfig{
+				Name:   name,
+				FSKind: fsKind,
+				Reps:   reps,
+				Seed:   seed ^ rng.New(seed).Derive(name).Uint64(),
+				// Same-epoch campaigns isolate the encoder cost.
+				EpochSigma: 0.0,
+				Encoder:    enc,
+				UID:        99066,
+				Exe:        "/projects/hmmer/bin/hmmbuild",
+				App: func(env apps.Env) {
+					cfg := apps.DefaultHMMER(env.M.Node(0), fsKind)
+					cfg.Families = scaleInt(apps.PfamASeedFamilies, scale)
+					apps.RunHMMER(env, cfg)
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &AblationResult{
+				Encoder:     enc.Name(),
+				FSKind:      fsKind,
+				AvgDarshan:  cell.AvgDarshan,
+				AvgDC:       cell.AvgDC,
+				OverheadPct: cell.OverheadPct,
+			})
+		}
+	}
+	return out, nil
+}

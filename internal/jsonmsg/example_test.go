@@ -1,0 +1,30 @@
+package jsonmsg_test
+
+import (
+	"fmt"
+	"time"
+
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/jsonmsg"
+)
+
+// A Darshan write event becomes a MOD-typed Table I message; the exe and
+// file paths are replaced with "N/A" (only MET/open messages carry them).
+func ExampleFromEvent() {
+	ev := &darshan.Event{
+		Module:   darshan.ModPOSIX,
+		Op:       darshan.OpWrite,
+		Rank:     3,
+		Producer: "nid00046",
+		File:     "/nscratch/ckpt.dat",
+		RecordID: 42,
+		Offset:   0,
+		Length:   16 << 20,
+		Start:    10 * time.Second,
+		End:      10*time.Second + 350*time.Millisecond,
+	}
+	m := jsonmsg.FromEvent(ev, jsonmsg.JobMeta{UID: 99066, JobID: 259903, Exe: "/bin/app"})
+	fmt.Println(string(jsonmsg.FastEncoder{}.Encode(&m)))
+	// Output:
+	// {"uid":99066,"exe":"N/A","job_id":259903,"rank":3,"ProducerName":"nid00046","file":"N/A","record_id":42,"module":"POSIX","type":"MOD","max_byte":0,"switches":0,"flushes":0,"cnt":0,"op":"write","seg":[{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,"reg_hslab":-1,"ndims":-1,"npoints":-1,"off":0,"len":16777216,"dur":0.350000,"timestamp":1600000010.350000}]}
+}

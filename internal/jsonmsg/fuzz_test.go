@@ -1,0 +1,51 @@
+package jsonmsg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the store-side JSON parser against arbitrary stream
+// payloads: a malformed message must error, never panic, and a valid
+// encoder output must round-trip.
+func FuzzParse(f *testing.F) {
+	m := sampleMsg()
+	f.Add(FastEncoder{}.Encode(&m))
+	f.Add(SprintfEncoder{}.Encode(&m))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"uid":"not-a-number"}`))
+	f.Add([]byte(`{"seg":[{}]}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Parse(data)
+		if err == nil && msg == nil {
+			t.Fatal("nil message without error")
+		}
+	})
+}
+
+// FuzzEncodeParse: any message content (including hostile strings) must
+// encode to valid JSON that parses back to the same scalar fields.
+func FuzzEncodeParse(f *testing.F) {
+	f.Add("POSIX", "/nscratch/a", int64(1), int64(2), 3.5)
+	f.Add(`"quoted"`, "back\\slash", int64(-1), int64(0), -0.0)
+	f.Add("\x00\x01控制", "newline\nhere", int64(1<<62), int64(-1<<62), 1e300)
+	f.Fuzz(func(t *testing.T, module, file string, uid, length int64, dur float64) {
+		m := sampleMsg()
+		m.Module, m.File, m.UID = module, file, uid
+		m.Seg[0].Len, m.Seg[0].Dur = length, dur
+		out := FastEncoder{}.Encode(&m)
+		got, err := Parse(out)
+		if err != nil {
+			t.Fatalf("encoder produced unparseable JSON for %q %q: %v", module, file, err)
+		}
+		// Invalid UTF-8 is sanitized to U+FFFD at encode time (as
+		// encoding/json does), so compare against the sanitized input.
+		wantModule := strings.ToValidUTF8(module, "�")
+		wantFile := strings.ToValidUTF8(file, "�")
+		if got.Module != wantModule || got.File != wantFile || got.UID != uid || got.Seg[0].Len != length {
+			t.Fatalf("round trip mismatch: %q/%q vs %q/%q", got.Module, got.File, wantModule, wantFile)
+		}
+	})
+}

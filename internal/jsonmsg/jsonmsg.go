@@ -1,0 +1,395 @@
+// Package jsonmsg defines the JSON message the Darshan-LDMS Connector
+// publishes to LDMS Streams for every I/O event — the schema of Table I and
+// Fig 3 of the paper — together with three encoders that reproduce the
+// paper's overhead story:
+//
+//   - Sprintf: formats every field with fmt.Sprintf, the analogue of the C
+//     connector's sprintf() JSON assembly. This is the costly path that
+//     inflates HMMER runtimes by 3-13x.
+//   - Fast: strconv/append formatting, the obvious optimization.
+//   - None: a pre-serialized placeholder, the paper's "without the
+//     sprintf()" ablation (LDMS Streams publish only), measured at ~0.37%
+//     overhead.
+//
+// Each encoder carries a calibrated simulated per-message CPU cost
+// (SimCost) that the connector charges to the rank; the testing.B
+// benchmarks measure the encoders' real costs in Go, and DESIGN.md records
+// the scaling between the two.
+package jsonmsg
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode/utf8"
+
+	"darshanldms/internal/darshan"
+)
+
+// TypeMET and TypeMOD are the two message types: MET messages (sent for
+// open events) carry the static metadata — the absolute directories of the
+// executable and file — while MOD messages replace them with "N/A" to
+// reduce message size and latency in the production pipeline.
+const (
+	TypeMET = "MET"
+	TypeMOD = "MOD"
+)
+
+// NA is the placeholder for fields that do not apply to the module or type.
+const NA = "N/A"
+
+// appendJSONString appends s as a JSON string literal. Unlike
+// strconv.AppendQuote (whose \x.. escapes are Go syntax, not JSON), this
+// emits only JSON-legal escapes; invalid UTF-8 is replaced the way
+// encoding/json replaces it.
+func appendJSONString(b []byte, s string) []byte {
+	if !utf8.ValidString(s) {
+		s = strings.ToValidUTF8(s, "�")
+	}
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xF])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// jsonQuote returns s as a JSON string literal (the Sprintf encoder's
+// helper).
+func jsonQuote(s string) string { return string(appendJSONString(nil, s)) }
+
+// Segment is one entry of the "seg" list: the per-operation metrics.
+type Segment struct {
+	DataSet    string  `json:"data_set"`
+	PtSel      int64   `json:"pt_sel"`
+	IrregHSlab int64   `json:"irreg_hslab"`
+	RegHSlab   int64   `json:"reg_hslab"`
+	NDims      int64   `json:"ndims"`
+	NPoints    int64   `json:"npoints"`
+	Off        int64   `json:"off"`
+	Len        int64   `json:"len"`
+	Dur        float64 `json:"dur"`       // seconds the op took for this rank
+	Timestamp  float64 `json:"timestamp"` // absolute end time, epoch seconds
+}
+
+// Message is the JSON message of Table I.
+type Message struct {
+	UID          int64     `json:"uid"`
+	Exe          string    `json:"exe"`
+	JobID        int64     `json:"job_id"`
+	Rank         int       `json:"rank"`
+	ProducerName string    `json:"ProducerName"`
+	File         string    `json:"file"`
+	RecordID     uint64    `json:"record_id"`
+	Module       string    `json:"module"`
+	Type         string    `json:"type"`
+	MaxByte      int64     `json:"max_byte"`
+	Switches     int64     `json:"switches"`
+	Flushes      int64     `json:"flushes"`
+	Cnt          int64     `json:"cnt"`
+	Op           string    `json:"op"`
+	Seg          []Segment `json:"seg"`
+}
+
+// JobMeta is the static job information stamped into every message.
+type JobMeta struct {
+	UID   int64
+	JobID int64
+	Exe   string
+}
+
+// EpochBase anchors virtual time zero to a wall-clock epoch so the
+// "timestamp" field looks like the paper's epoch seconds.
+const EpochBase = 1.6e9
+
+// FromEvent builds the connector message for a Darshan event. Open events
+// are typed MET and carry the absolute exe/file paths; all other events are
+// typed MOD with "N/A" placeholders (Section IV-C of the paper). Missing
+// HDF5 metrics are -1/"N/A".
+func FromEvent(ev *darshan.Event, meta JobMeta) Message {
+	m := Message{
+		UID:          meta.UID,
+		JobID:        meta.JobID,
+		Rank:         ev.Rank,
+		ProducerName: ev.Producer,
+		RecordID:     ev.RecordID,
+		Module:       string(ev.Module),
+		MaxByte:      ev.MaxByte,
+		Switches:     ev.Switches,
+		Flushes:      ev.Flushes,
+		Cnt:          ev.Cnt,
+		Op:           string(ev.Op),
+	}
+	if ev.Op == darshan.OpOpen {
+		m.Type = TypeMET
+		m.Exe = meta.Exe
+		m.File = ev.File
+	} else {
+		m.Type = TypeMOD
+		m.Exe = NA
+		m.File = NA
+	}
+	seg := Segment{
+		DataSet:    NA,
+		PtSel:      -1,
+		IrregHSlab: -1,
+		RegHSlab:   -1,
+		NDims:      -1,
+		NPoints:    -1,
+		Off:        ev.Offset,
+		Len:        ev.Length,
+		Dur:        ev.Duration().Seconds(),
+		Timestamp:  EpochBase + ev.End.Seconds(),
+	}
+	if ev.H5 != nil {
+		seg.DataSet = ev.H5.DataSet
+		seg.PtSel = ev.H5.PtSel
+		seg.IrregHSlab = ev.H5.IrregHSlab
+		seg.RegHSlab = ev.H5.RegHSlab
+		seg.NDims = ev.H5.NDims
+		seg.NPoints = ev.H5.NPoints
+	}
+	m.Seg = []Segment{seg}
+	return m
+}
+
+// Encoder serializes messages and knows its simulated per-message cost.
+type Encoder interface {
+	Name() string
+	Encode(m *Message) []byte
+	// SimCost is the virtual CPU time one Encode charges to the rank.
+	SimCost() time.Duration
+}
+
+// SprintfEncoder formats every name:value pair with fmt.Sprintf — the
+// paper's integer-to-string conversion cost, "the more I/O intensive an
+// application ... the overhead will increase significantly".
+type SprintfEncoder struct{}
+
+// Name implements Encoder.
+func (SprintfEncoder) Name() string { return "sprintf" }
+
+// SimCost implements Encoder. Calibrated so HMMER's message volume (3-4.5M
+// messages) produces multi-x runtime inflation as in Table IIc.
+func (SprintfEncoder) SimCost() time.Duration { return 520 * time.Microsecond }
+
+// Encode implements Encoder.
+func (SprintfEncoder) Encode(m *Message) []byte {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("{%s,", fmt.Sprintf("%q:%d", "uid", m.UID)))
+	b.WriteString(fmt.Sprintf("%q:%s,", "exe", jsonQuote(m.Exe)))
+	b.WriteString(fmt.Sprintf("%q:%d,", "job_id", m.JobID))
+	b.WriteString(fmt.Sprintf("%q:%d,", "rank", m.Rank))
+	b.WriteString(fmt.Sprintf("%q:%s,", "ProducerName", jsonQuote(m.ProducerName)))
+	b.WriteString(fmt.Sprintf("%q:%s,", "file", jsonQuote(m.File)))
+	b.WriteString(fmt.Sprintf("%q:%d,", "record_id", m.RecordID))
+	b.WriteString(fmt.Sprintf("%q:%s,", "module", jsonQuote(m.Module)))
+	b.WriteString(fmt.Sprintf("%q:%s,", "type", jsonQuote(m.Type)))
+	b.WriteString(fmt.Sprintf("%q:%d,", "max_byte", m.MaxByte))
+	b.WriteString(fmt.Sprintf("%q:%d,", "switches", m.Switches))
+	b.WriteString(fmt.Sprintf("%q:%d,", "flushes", m.Flushes))
+	b.WriteString(fmt.Sprintf("%q:%d,", "cnt", m.Cnt))
+	b.WriteString(fmt.Sprintf("%q:%s,", "op", jsonQuote(m.Op)))
+	b.WriteString(fmt.Sprintf("%q:[", "seg"))
+	for i := range m.Seg {
+		s := &m.Seg[i]
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(fmt.Sprintf("{%q:%s,", "data_set", jsonQuote(s.DataSet)))
+		b.WriteString(fmt.Sprintf("%q:%d,", "pt_sel", s.PtSel))
+		b.WriteString(fmt.Sprintf("%q:%d,", "irreg_hslab", s.IrregHSlab))
+		b.WriteString(fmt.Sprintf("%q:%d,", "reg_hslab", s.RegHSlab))
+		b.WriteString(fmt.Sprintf("%q:%d,", "ndims", s.NDims))
+		b.WriteString(fmt.Sprintf("%q:%d,", "npoints", s.NPoints))
+		b.WriteString(fmt.Sprintf("%q:%d,", "off", s.Off))
+		b.WriteString(fmt.Sprintf("%q:%d,", "len", s.Len))
+		b.WriteString(fmt.Sprintf("%q:%.6f,", "dur", s.Dur))
+		b.WriteString(fmt.Sprintf("%q:%.6f}", "timestamp", s.Timestamp))
+	}
+	b.WriteString("]}")
+	return []byte(b.String())
+}
+
+// FastEncoder is the strconv/append encoder: identical output, far cheaper.
+type FastEncoder struct{}
+
+// Name implements Encoder.
+func (FastEncoder) Name() string { return "fast" }
+
+// SimCost implements Encoder.
+func (FastEncoder) SimCost() time.Duration { return 20 * time.Microsecond }
+
+// Encode implements Encoder.
+func (FastEncoder) Encode(m *Message) []byte {
+	b := make([]byte, 0, 512)
+	b = append(b, `{"uid":`...)
+	b = strconv.AppendInt(b, m.UID, 10)
+	b = append(b, `,"exe":`...)
+	b = appendJSONString(b, m.Exe)
+	b = append(b, `,"job_id":`...)
+	b = strconv.AppendInt(b, m.JobID, 10)
+	b = append(b, `,"rank":`...)
+	b = strconv.AppendInt(b, int64(m.Rank), 10)
+	b = append(b, `,"ProducerName":`...)
+	b = appendJSONString(b, m.ProducerName)
+	b = append(b, `,"file":`...)
+	b = appendJSONString(b, m.File)
+	b = append(b, `,"record_id":`...)
+	b = strconv.AppendUint(b, m.RecordID, 10)
+	b = append(b, `,"module":`...)
+	b = appendJSONString(b, m.Module)
+	b = append(b, `,"type":`...)
+	b = appendJSONString(b, m.Type)
+	b = append(b, `,"max_byte":`...)
+	b = strconv.AppendInt(b, m.MaxByte, 10)
+	b = append(b, `,"switches":`...)
+	b = strconv.AppendInt(b, m.Switches, 10)
+	b = append(b, `,"flushes":`...)
+	b = strconv.AppendInt(b, m.Flushes, 10)
+	b = append(b, `,"cnt":`...)
+	b = strconv.AppendInt(b, m.Cnt, 10)
+	b = append(b, `,"op":`...)
+	b = appendJSONString(b, m.Op)
+	b = append(b, `,"seg":[`...)
+	for i := range m.Seg {
+		s := &m.Seg[i]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"data_set":`...)
+		b = appendJSONString(b, s.DataSet)
+		b = append(b, `,"pt_sel":`...)
+		b = strconv.AppendInt(b, s.PtSel, 10)
+		b = append(b, `,"irreg_hslab":`...)
+		b = strconv.AppendInt(b, s.IrregHSlab, 10)
+		b = append(b, `,"reg_hslab":`...)
+		b = strconv.AppendInt(b, s.RegHSlab, 10)
+		b = append(b, `,"ndims":`...)
+		b = strconv.AppendInt(b, s.NDims, 10)
+		b = append(b, `,"npoints":`...)
+		b = strconv.AppendInt(b, s.NPoints, 10)
+		b = append(b, `,"off":`...)
+		b = strconv.AppendInt(b, s.Off, 10)
+		b = append(b, `,"len":`...)
+		b = strconv.AppendInt(b, s.Len, 10)
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendFloat(b, s.Dur, 'f', 6, 64)
+		b = append(b, `,"timestamp":`...)
+		b = strconv.AppendFloat(b, s.Timestamp, 'f', 6, 64)
+		b = append(b, '}')
+	}
+	b = append(b, ']', '}')
+	return b
+}
+
+// NoneEncoder is the ablation: the connector's send path runs (LDMS Streams
+// API enabled, send function called) but no JSON is formatted — a tiny
+// constant placeholder is published instead.
+type NoneEncoder struct{}
+
+// Name implements Encoder.
+func (NoneEncoder) Name() string { return "none" }
+
+// SimCost implements Encoder. The paper measured ~0.37% average overhead
+// for this configuration.
+func (NoneEncoder) SimCost() time.Duration { return 200 * time.Nanosecond }
+
+var nonePayload = []byte(`{"type":"raw"}`)
+
+// Encode implements Encoder.
+func (NoneEncoder) Encode(m *Message) []byte { return nonePayload }
+
+// Parse decodes a JSON message produced by the Sprintf or Fast encoders.
+func Parse(data []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("jsonmsg: %w", err)
+	}
+	return &m, nil
+}
+
+// CSVHeader is the column layout the store converts messages into (the
+// bottom of Fig 3).
+const CSVHeader = "#module,uid,ProducerName,switches,file,rank,flushes,record_id,exe,max_byte,type,job_id,op,cnt,seg:off,seg:pt_sel,seg:dur,seg:len,seg:ndims,seg:irreg_hslab,seg:reg_hslab,seg:data_set,seg:npoints,seg:timestamp"
+
+// CSVRows renders one CSV row per seg entry.
+func (m *Message) CSVRows() []string {
+	rows := make([]string, 0, len(m.Seg))
+	for i := range m.Seg {
+		s := &m.Seg[i]
+		var b strings.Builder
+		b.WriteString(m.Module)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(m.UID, 10))
+		b.WriteByte(',')
+		b.WriteString(m.ProducerName)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(m.Switches, 10))
+		b.WriteByte(',')
+		b.WriteString(m.File)
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(m.Rank))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(m.Flushes, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(m.RecordID, 10))
+		b.WriteByte(',')
+		b.WriteString(m.Exe)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(m.MaxByte, 10))
+		b.WriteByte(',')
+		b.WriteString(m.Type)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(m.JobID, 10))
+		b.WriteByte(',')
+		b.WriteString(m.Op)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(m.Cnt, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.Off, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.PtSel, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(s.Dur, 'f', 6, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.Len, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.NDims, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.IrregHSlab, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.RegHSlab, 10))
+		b.WriteByte(',')
+		b.WriteString(s.DataSet)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.NPoints, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(s.Timestamp, 'f', 6, 64))
+		rows = append(rows, b.String())
+	}
+	return rows
+}

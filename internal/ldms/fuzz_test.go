@@ -1,0 +1,30 @@
+package ldms
+
+import (
+	"bytes"
+	"testing"
+
+	"darshanldms/internal/streams"
+)
+
+// FuzzReadFrame hardens the TCP transport framing: arbitrary bytes must
+// either parse or error, never panic or over-allocate.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, streams.Message{Tag: "darshanConnector", Type: streams.TypeJSON, Data: []byte(`{"op":"open"}`)})
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 5, '{', '}', 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err == nil {
+			// A parsed frame must round-trip through WriteFrame.
+			var out bytes.Buffer
+			if werr := WriteFrame(&out, m); werr != nil {
+				t.Fatalf("reserialize failed: %v", werr)
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package ldms
+
+import (
+	"bufio"
+	"io"
+	"sync"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/streams"
+)
+
+// StorePlugin consumes stream messages at the final aggregation level.
+type StorePlugin interface {
+	Name() string
+	Store(m streams.Message) error
+}
+
+// AttachStore subscribes a store plugin to a tag on the daemon's bus.
+// Store errors are counted, not propagated — LDMS storage is best-effort.
+func (d *Daemon) AttachStore(tag string, s StorePlugin) *StoreHandle {
+	h := &StoreHandle{plugin: s}
+	h.sub = d.bus.Subscribe(tag, func(m streams.Message) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.received++
+		if err := s.Store(m); err != nil {
+			h.errors++
+			h.lastErr = err
+		}
+	})
+	return h
+}
+
+// StoreHandle tracks one attached store.
+type StoreHandle struct {
+	plugin   StorePlugin
+	sub      *streams.Subscription
+	mu       sync.Mutex
+	received uint64
+	errors   uint64
+	lastErr  error
+}
+
+// Received returns the number of messages delivered to the store.
+func (h *StoreHandle) Received() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.received
+}
+
+// Errors returns the number of failed stores and the last error.
+func (h *StoreHandle) Errors() (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.errors, h.lastErr
+}
+
+// Close detaches the store from the bus.
+func (h *StoreHandle) Close() { h.sub.Close() }
+
+// CountStore counts messages and discards payloads (used by the overhead
+// campaigns, which need message counts and rates but not retained data).
+type CountStore struct {
+	mu    sync.Mutex
+	count uint64
+	bytes uint64
+}
+
+// Name implements StorePlugin.
+func (c *CountStore) Name() string { return "store_count" }
+
+// Store implements StorePlugin.
+func (c *CountStore) Store(m streams.Message) error {
+	c.mu.Lock()
+	c.count++
+	c.bytes += uint64(len(m.Data))
+	c.mu.Unlock()
+	return nil
+}
+
+// Count returns messages seen.
+func (c *CountStore) Count() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// Bytes returns payload bytes seen.
+func (c *CountStore) Bytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// CSVStore parses connector JSON messages and writes the Fig 3 CSV layout.
+type CSVStore struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	header bool
+}
+
+// NewCSVStore creates a CSV store writing to w.
+func NewCSVStore(w io.Writer) *CSVStore {
+	return &CSVStore{w: bufio.NewWriter(w)}
+}
+
+// Name implements StorePlugin.
+func (s *CSVStore) Name() string { return "store_csv" }
+
+// Store implements StorePlugin.
+func (s *CSVStore) Store(m streams.Message) error {
+	msg, err := jsonmsg.Parse(m.Data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.header {
+		if _, err := s.w.WriteString(jsonmsg.CSVHeader + "\n"); err != nil {
+			return err
+		}
+		s.header = true
+	}
+	for _, row := range msg.CSVRows() {
+		if _, err := s.w.WriteString(row + "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered rows.
+func (s *CSVStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// DSOSStore parses connector JSON messages and inserts them into a DSOS
+// cluster (the paper's storage path).
+type DSOSStore struct {
+	client *dsos.Client
+}
+
+// NewDSOSStore creates the store plugin over a connected client.
+func NewDSOSStore(client *dsos.Client) *DSOSStore {
+	return &DSOSStore{client: client}
+}
+
+// Name implements StorePlugin.
+func (s *DSOSStore) Name() string { return "store_dsos" }
+
+// Store implements StorePlugin.
+func (s *DSOSStore) Store(m streams.Message) error {
+	msg, err := jsonmsg.Parse(m.Data)
+	if err != nil {
+		return err
+	}
+	for _, obj := range dsos.ObjectsFromMessage(msg) {
+		if err := s.client.Insert(dsos.DarshanSchemaName, obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package ldms
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"darshanldms/internal/streams"
+)
+
+// The TCP transport frames stream messages as a 4-byte big-endian length
+// followed by a JSON envelope. It lets real (non-simulated) daemons form
+// the same multi-hop topology: connector -> node ldmsd -> aggregator ->
+// store, which cmd/ldmsd exposes.
+
+// maxFrame bounds a frame to keep a malformed peer from exhausting memory.
+const maxFrame = 16 << 20
+
+type wireMsg struct {
+	Tag  string `json:"tag"`
+	Type int    `json:"type"`
+	Data []byte `json:"data"` // encoding/json base64s []byte
+}
+
+// WriteFrame writes one stream message to w.
+func WriteFrame(w io.Writer, m streams.Message) error {
+	payload, err := json.Marshal(wireMsg{Tag: m.Tag, Type: int(m.Type), Data: m.Data})
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("ldms: frame too large (%d bytes)", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one stream message from r.
+func ReadFrame(r io.Reader) (streams.Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return streams.Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return streams.Message{}, fmt.Errorf("ldms: oversized frame (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return streams.Message{}, err
+	}
+	var wm wireMsg
+	if err := json.Unmarshal(payload, &wm); err != nil {
+		return streams.Message{}, err
+	}
+	return streams.Message{Tag: wm.Tag, Type: streams.MsgType(wm.Type), Data: wm.Data}, nil
+}
+
+// TCPServer accepts transport connections and publishes received messages
+// onto a daemon's bus.
+type TCPServer struct {
+	d        *Daemon
+	ln       net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	received uint64
+	wg       sync.WaitGroup
+}
+
+// ListenTCP starts a transport listener for the daemon on addr
+// (e.g. "127.0.0.1:0").
+func ListenTCP(d *Daemon, addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{d: d, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Received returns the number of messages received over TCP.
+func (s *TCPServer) Received() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *TCPServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		m, err := ReadFrame(br)
+		if err != nil {
+			return // EOF or protocol error: best-effort, drop the link
+		}
+		s.mu.Lock()
+		s.received++
+		s.mu.Unlock()
+		s.d.Bus().Publish(m)
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TCPClient publishes stream messages to a remote daemon. Delivery is
+// best-effort: there is no reconnect or resend (matching LDMS Streams).
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{conn: conn, bw: bufio.NewWriter(conn)}, nil
+}
+
+// Publish sends one message.
+func (c *TCPClient) Publish(m streams.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return errors.New("ldms: client closed")
+	}
+	if err := WriteFrame(c.bw, m); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Close closes the connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// ForwardTCP relays a tag from a local daemon's bus over TCP to a remote
+// daemon — one hop of a real multi-level topology.
+func ForwardTCP(from *Daemon, tag string, client *TCPClient) *streams.Subscription {
+	return from.Bus().Subscribe(tag, func(m streams.Message) {
+		// Best-effort: a failed send is dropped, as LDMS Streams does.
+		_ = client.Publish(m)
+	})
+}

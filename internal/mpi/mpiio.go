@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"time"
+
+	"darshanldms/internal/sim"
+	"darshanldms/internal/simfs"
+)
+
+// PosixFile is the POSIX-level file abstraction the MPI-IO layer performs
+// its accesses through. The Darshan instrumentation supplies a wrapping
+// implementation so that every POSIX call issued under MPI-IO is traced,
+// exactly as LD_PRELOAD interposition captures the POSIX calls ROMIO makes.
+type PosixFile interface {
+	Write(p *sim.Proc, offset, n int64) simfs.Result
+	Read(p *sim.Proc, offset, n int64) simfs.Result
+	Close(p *sim.Proc) time.Duration
+	SetAligned(aligned bool)
+	Path() string
+}
+
+// PosixLayer opens PosixFiles. Open must retry transient failures
+// internally (applications at this level see only successful opens).
+type PosixLayer interface {
+	Open(p *sim.Proc, rank int, path string, write bool) PosixFile
+}
+
+// RawPosix is the uninstrumented POSIX layer straight over a simulated file
+// system.
+type RawPosix struct {
+	FS *simfs.FileSystem
+}
+
+type rawPosixFile struct{ h *simfs.Handle }
+
+// Open implements PosixLayer.
+func (r RawPosix) Open(p *sim.Proc, rank int, path string, write bool) PosixFile {
+	return rawPosixFile{h: r.FS.OpenRetry(p, rank, path, write, nil)}
+}
+
+func (f rawPosixFile) Write(p *sim.Proc, offset, n int64) simfs.Result {
+	return f.h.Write(p, offset, n)
+}
+func (f rawPosixFile) Read(p *sim.Proc, offset, n int64) simfs.Result {
+	return f.h.Read(p, offset, n)
+}
+func (f rawPosixFile) Close(p *sim.Proc) time.Duration { return f.h.Close(p) }
+func (f rawPosixFile) SetAligned(aligned bool)         { f.h.SetAligned(aligned) }
+func (f rawPosixFile) Path() string                    { return f.h.Path() }
+
+// IOConfig tunes the MPI-IO implementation the way ROMIO hints do.
+type IOConfig struct {
+	// CollBufferSize is the collective-buffering chunk size each aggregator
+	// writes per POSIX call (cb_buffer_size). Zero selects a file-system
+	// dependent default: the stripe size on Lustre, 1.5 MiB on NFS.
+	CollBufferSize int64
+	// AggregatorsPerNode is the number of collective-buffering aggregator
+	// ranks per node (cb_nodes spread); default 1.
+	AggregatorsPerNode int
+	// LustreIndepChunk is the chunk size independent writes are split into
+	// on Lustre (ad_lustre stripe-aligned chunking). Zero = stripe size.
+	LustreIndepChunk int64
+}
+
+func (c IOConfig) withDefaults(fs *simfs.FileSystem) IOConfig {
+	if c.CollBufferSize == 0 {
+		if fs.Kind() == simfs.Lustre {
+			// Half a stripe per flush, calibrated to the POSIX event
+			// volume the paper observed for collective runs on Lustre.
+			c.CollBufferSize = fs.Config().StripeSize / 2
+		} else {
+			c.CollBufferSize = 3 << 19 // 1.5 MiB
+		}
+	}
+	if c.AggregatorsPerNode == 0 {
+		c.AggregatorsPerNode = 1
+	}
+	if c.LustreIndepChunk == 0 {
+		c.LustreIndepChunk = fs.Config().StripeSize
+	}
+	return c
+}
+
+// File is an MPI-IO file handle for one rank. All ranks of the world must
+// open the file collectively with OpenFile.
+type File struct {
+	w     *World
+	fs    *simfs.FileSystem
+	layer PosixLayer
+	cfg   IOConfig
+	path  string
+	ph    PosixFile
+	rank  *Rank
+	isAgg bool
+}
+
+// OpenFile opens path collectively (every rank must call it). Each rank
+// obtains its own POSIX handle through layer; the call synchronizes like
+// MPI_File_open.
+func OpenFile(r *Rank, fs *simfs.FileSystem, layer PosixLayer, cfg IOConfig, path string, write bool) *File {
+	cfg = cfg.withDefaults(fs)
+	f := &File{w: r.w, fs: fs, layer: layer, cfg: cfg, path: path, rank: r}
+	f.ph = layer.Open(r.p, r.ID, path, write)
+	// Aggregators: the first AggregatorsPerNode ranks of each node block.
+	rpn := r.w.placement.RanksPerNode()
+	f.isAgg = r.ID%rpn < cfg.AggregatorsPerNode
+	r.Barrier()
+	return f
+}
+
+// Close closes the handle collectively.
+func (f *File) Close() {
+	f.ph.Close(f.rank.p)
+	f.rank.Barrier()
+}
+
+// WriteAt performs an independent write of n bytes at offset
+// (MPI_File_write_at). On Lustre the access is split into stripe-aligned
+// chunks, each a separate POSIX call (as ROMIO's ad_lustre driver does);
+// short POSIX writes are retried, each retry another POSIX call.
+func (f *File) WriteAt(offset, n int64) int64 {
+	f.ph.SetAligned(false)
+	var chunk int64 = n
+	if f.fs.Kind() == simfs.Lustre && f.cfg.LustreIndepChunk > 0 {
+		chunk = f.cfg.LustreIndepChunk
+	}
+	return writeChunked(f.rank.p, f.ph, offset, n, chunk)
+}
+
+// ReadAt performs an independent read (MPI_File_read_at).
+func (f *File) ReadAt(offset, n int64) int64 {
+	var total int64
+	var chunk int64 = n
+	if f.fs.Kind() == simfs.Lustre && f.cfg.LustreIndepChunk > 0 {
+		chunk = f.cfg.LustreIndepChunk
+	}
+	for total < n {
+		take := n - total
+		if take > chunk {
+			take = chunk
+		}
+		res := f.ph.Read(f.rank.p, offset+total, take)
+		if res.N <= 0 {
+			break
+		}
+		total += res.N
+	}
+	return total
+}
+
+// writeChunked issues POSIX writes of at most chunk bytes, retrying short
+// writes, and returns the total written.
+func writeChunked(p *sim.Proc, ph PosixFile, offset, n, chunk int64) int64 {
+	var total int64
+	for total < n {
+		take := n - total
+		if take > chunk {
+			take = chunk
+		}
+		res := ph.Write(p, offset+total, take)
+		if res.N <= 0 {
+			break
+		}
+		total += res.N
+	}
+	return total
+}
+
+// WriteAtAll performs a collective write (MPI_File_write_at_all) using
+// two-phase I/O: ranks exchange their data with per-node aggregators over
+// the interconnect, then aggregators issue large aligned POSIX writes of
+// CollBufferSize each, then everyone synchronizes.
+func (f *File) WriteAtAll(offset, n int64) int64 {
+	r := f.rank
+	// Phase 0: everyone announces its (offset, count) access.
+	accesses := r.Allgather([2]int64{offset, n})
+	// Phase 1: ship data to the node's aggregator.
+	aggRank := f.aggregatorFor(r.ID)
+	if r.ID != aggRank {
+		f.w.machine.Transfer(r.p, r.node, f.w.placement.NodeOf(aggRank), n)
+	}
+	// Phase 2: aggregators write their file domain in aligned chunks.
+	if r.ID == aggRank {
+		start, length := f.aggregatorDomain(aggRank, accesses)
+		f.ph.SetAligned(true)
+		writeChunked(r.p, f.ph, start, length, f.cfg.CollBufferSize)
+		f.ph.SetAligned(false)
+	}
+	// Phase 3: collective completion.
+	r.Barrier()
+	return n
+}
+
+// aggregatorDomain returns the contiguous file region (start, length) that
+// aggregator agg services: the span from the lowest offset of its ranks,
+// covering the sum of their access sizes.
+func (f *File) aggregatorDomain(agg int, accesses []any) (start, length int64) {
+	first := true
+	for id, a := range accesses {
+		acc := a.([2]int64)
+		if f.aggregatorFor(id) != agg || acc[1] == 0 {
+			continue
+		}
+		if first || acc[0] < start {
+			start = acc[0]
+		}
+		first = false
+		length += acc[1]
+	}
+	return start, length
+}
+
+// ReadAtAll performs a collective read: aggregators read large aligned
+// chunks and scatter them to their node's ranks.
+func (f *File) ReadAtAll(offset, n int64) int64 {
+	r := f.rank
+	accesses := r.Allgather([2]int64{offset, n})
+	aggRank := f.aggregatorFor(r.ID)
+	if r.ID == aggRank {
+		start, length := f.aggregatorDomain(aggRank, accesses)
+		var done int64
+		for done < length {
+			take := length - done
+			if take > f.cfg.CollBufferSize {
+				take = f.cfg.CollBufferSize
+			}
+			res := f.ph.Read(r.p, start+done, take)
+			if res.N <= 0 {
+				break
+			}
+			done += res.N
+		}
+	} else {
+		// Wait for scatter from the aggregator.
+		f.w.machine.Transfer(r.p, f.w.placement.NodeOf(aggRank), r.node, n)
+	}
+	r.Barrier()
+	return n
+}
+
+// aggregatorFor returns the aggregator rank responsible for rank id.
+func (f *File) aggregatorFor(id int) int {
+	rpn := f.w.placement.RanksPerNode()
+	nodeFirst := (id / rpn) * rpn
+	aggIdx := 0
+	if f.cfg.AggregatorsPerNode > 1 {
+		aggIdx = (id % rpn) % f.cfg.AggregatorsPerNode
+	}
+	return nodeFirst + aggIdx
+}
+
+// Posix returns the rank's underlying POSIX file (for direct POSIX-mode
+// workloads like HACC-IO's POSIX checkpoint path).
+func (f *File) Posix() PosixFile { return f.ph }

@@ -1,0 +1,107 @@
+// Package replay re-publishes a stored job's event stream onto an LDMS
+// Streams bus in absolute-timestamp order, optionally paced against the
+// wall clock. It turns retained DSOS data back into the *run-time* feed the
+// paper's dashboards consume — useful for demonstrations (watch the
+// dashboard fill in as the job "runs") and for regression-testing analysis
+// pipelines against recorded campaigns.
+package replay
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
+)
+
+// Options controls a replay.
+type Options struct {
+	// Speedup divides the original inter-event gaps (10 = 10x faster than
+	// the original run). <= 0 replays as fast as possible (no pacing).
+	Speedup float64
+	// Tag overrides the stream tag (default connector tag).
+	Tag string
+	// Encoder serializes the reconstructed messages (default Fast).
+	Encoder jsonmsg.Encoder
+}
+
+// Stats reports a finished replay.
+type Stats struct {
+	Events   int
+	Duration time.Duration // wall-clock time spent replaying
+	Span     float64       // original timestamp span (seconds)
+}
+
+// Job replays every stored event of jobID onto bus, in timestamp order.
+// ctx cancels a paced replay early.
+func Job(ctx context.Context, client *dsos.Client, jobID int64, bus *streams.Bus, opts Options) (*Stats, error) {
+	objs, err := client.Query("job_time_rank", sos.Key{jobID}, sos.Key{jobID + 1})
+	if err != nil {
+		return nil, err
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("replay: job %d has no stored events", jobID)
+	}
+	tag := opts.Tag
+	if tag == "" {
+		tag = "darshanConnector"
+	}
+	enc := opts.Encoder
+	if enc == nil {
+		enc = jsonmsg.FastEncoder{}
+	}
+	start := time.Now()
+	t0 := objs[0][dsos.ColSegTimestamp].(float64)
+	tLast := objs[len(objs)-1][dsos.ColSegTimestamp].(float64)
+	for _, o := range objs {
+		if opts.Speedup > 0 {
+			due := time.Duration((o[dsos.ColSegTimestamp].(float64) - t0) / opts.Speedup * float64(time.Second))
+			if wait := due - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+		}
+		m := messageFromObject(o)
+		bus.PublishJSON(tag, enc.Encode(&m))
+	}
+	return &Stats{Events: len(objs), Duration: time.Since(start), Span: tLast - t0}, nil
+}
+
+// messageFromObject reconstructs the connector message from a stored row
+// (the inverse of dsos.ObjectsFromMessage for single-seg messages).
+func messageFromObject(o sos.Object) jsonmsg.Message {
+	return jsonmsg.Message{
+		Module:       o[dsos.ColModule].(string),
+		UID:          o[dsos.ColUID].(int64),
+		ProducerName: o[dsos.ColProducerName].(string),
+		Switches:     o[dsos.ColSwitches].(int64),
+		File:         o[dsos.ColFile].(string),
+		Rank:         int(o[dsos.ColRank].(int64)),
+		Flushes:      o[dsos.ColFlushes].(int64),
+		RecordID:     o[dsos.ColRecordID].(uint64),
+		Exe:          o[dsos.ColExe].(string),
+		MaxByte:      o[dsos.ColMaxByte].(int64),
+		Type:         o[dsos.ColType].(string),
+		JobID:        o[dsos.ColJobID].(int64),
+		Op:           o[dsos.ColOp].(string),
+		Cnt:          o[dsos.ColCnt].(int64),
+		Seg: []jsonmsg.Segment{{
+			Off:        o[dsos.ColSegOff].(int64),
+			PtSel:      o[dsos.ColSegPtSel].(int64),
+			Dur:        o[dsos.ColSegDur].(float64),
+			Len:        o[dsos.ColSegLen].(int64),
+			NDims:      o[dsos.ColSegNDims].(int64),
+			IrregHSlab: o[dsos.ColSegIrregHSlab].(int64),
+			RegHSlab:   o[dsos.ColSegRegHSlab].(int64),
+			DataSet:    o[dsos.ColSegDataSet].(string),
+			NPoints:    o[dsos.ColSegNPoints].(int64),
+			Timestamp:  o[dsos.ColSegTimestamp].(float64),
+		}},
+	}
+}

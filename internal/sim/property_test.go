@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"darshanldms/internal/rng"
+)
+
+// Randomized stress tests: arbitrary mixes of sleeps, resource usage,
+// barriers and messages must preserve the kernel's core invariants —
+// monotone time, capacity limits, and deterministic replay.
+
+func TestRandomScheduleInvariants(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		r := rng.New(uint64(1000 + trial))
+		e := NewEngine()
+		res := NewResource(e, "res", 3)
+		mb := NewMailbox(e, "mb")
+		var clockViolations, capViolations int
+		last := time.Duration(0)
+		check := func(p *Proc) {
+			if p.Now() < last {
+				clockViolations++
+			}
+			last = p.Now()
+			if res.InUse() > res.Capacity() {
+				capViolations++
+			}
+		}
+		const procs = 20
+		for i := 0; i < procs; i++ {
+			pr := r.DeriveN("proc", i)
+			e.Spawn("p", func(p *Proc) {
+				for step := 0; step < 30; step++ {
+					switch pr.Intn(4) {
+					case 0:
+						p.Sleep(time.Duration(pr.Intn(1000)) * time.Millisecond)
+					case 1:
+						n := 1 + pr.Intn(3)
+						res.Acquire(p, n)
+						p.Sleep(time.Duration(pr.Intn(100)) * time.Millisecond)
+						res.Release(n)
+					case 2:
+						mb.Send(step)
+					case 3:
+						if v, ok := mb.TryRecv(); ok {
+							_ = v
+						}
+					}
+					check(p)
+				}
+			})
+		}
+		if err := e.Run(0); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if clockViolations > 0 || capViolations > 0 {
+			t.Fatalf("trial %d: clock violations %d, capacity violations %d", trial, clockViolations, capViolations)
+		}
+		e.Close()
+	}
+}
+
+func TestRandomScheduleDeterministicReplay(t *testing.T) {
+	run := func() (time.Duration, []int) {
+		r := rng.New(777)
+		e := NewEngine()
+		defer e.Close()
+		res := NewResource(e, "res", 2)
+		var order []int
+		for i := 0; i < 12; i++ {
+			i := i
+			pr := r.DeriveN("proc", i)
+			e.Spawn("p", func(p *Proc) {
+				for step := 0; step < 15; step++ {
+					p.Sleep(time.Duration(pr.Intn(500)) * time.Millisecond)
+					res.Acquire(p, 1)
+					order = append(order, i)
+					p.Sleep(time.Duration(pr.Intn(50)) * time.Millisecond)
+					res.Release(1)
+				}
+			})
+		}
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now(), order
+	}
+	t1, o1 := run()
+	t2, o2 := run()
+	if t1 != t2 {
+		t.Fatalf("end times differ: %v vs %v", t1, t2)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("order lengths differ")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("acquisition order diverged at %d", i)
+		}
+	}
+}
+
+func TestDrainFlushesCallbacks(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	fired := 0
+	e.Spawn("app", func(p *Proc) {
+		p.Sleep(time.Second)
+		// Schedule callbacks that land after the last worker exits.
+		for i := 1; i <= 5; i++ {
+			e.After(time.Duration(i)*100*time.Millisecond, func() { fired++ })
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("callbacks fired before drain: %d", fired)
+	}
+	if err := e.Drain(e.Now() + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 {
+		t.Fatalf("drained %d of 5 callbacks", fired)
+	}
+	if e.Now() != time.Second+500*time.Millisecond {
+		t.Fatalf("clock after drain %v", e.Now())
+	}
+}
+
+func TestDrainRespectsLimit(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	fired := 0
+	e.Spawn("app", func(p *Proc) {
+		e.After(10*time.Second, func() { fired++ })
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("drain crossed its limit")
+	}
+	if e.Now() != time.Second {
+		t.Fatalf("clock %v", e.Now())
+	}
+}
+
+func TestResourceNeverExceedsCapacityUnderChurn(t *testing.T) {
+	e := NewEngine()
+	defer e.Close()
+	r := rng.New(31)
+	res := NewResource(e, "churn", 5)
+	maxSeen := 0
+	for i := 0; i < 50; i++ {
+		pr := r.DeriveN("p", i)
+		e.Spawn("p", func(p *Proc) {
+			for k := 0; k < 20; k++ {
+				n := 1 + pr.Intn(5)
+				res.Acquire(p, n)
+				if res.InUse() > maxSeen {
+					maxSeen = res.InUse()
+				}
+				p.Sleep(time.Duration(pr.Intn(20)) * time.Millisecond)
+				res.Release(n)
+			}
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 5 {
+		t.Fatalf("capacity exceeded: %d", maxSeen)
+	}
+}

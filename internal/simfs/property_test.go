@@ -1,0 +1,143 @@
+package simfs
+
+import (
+	"testing"
+	"time"
+
+	"darshanldms/internal/rng"
+	"darshanldms/internal/sim"
+)
+
+// Property-style tests over randomized workloads.
+
+func TestFileSizeMatchesBytesWritten(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		e := sim.NewEngine()
+		cfg := DefaultLustre()
+		cfg.ShortWriteBase = -1
+		cfg.OpenRetryBase = -1
+		fs := New(e, cfg, rng.New(uint64(trial)).Derive("fs"))
+		r := rng.New(uint64(200 + trial))
+		var written int64
+		e.Spawn("w", func(p *sim.Proc) {
+			h := fs.OpenRetry(p, 0, "/lscratch/prop", true, nil)
+			off := int64(0)
+			for i := 0; i < 50; i++ {
+				n := int64(1 + r.Intn(1<<20))
+				res := h.Write(p, off, n)
+				off += res.N
+				written += res.N
+			}
+			h.Close(p)
+		})
+		if err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if got := fs.FileSize("/lscratch/prop"); got != written {
+			t.Fatalf("trial %d: size %d, written %d", trial, got, written)
+		}
+		e.Close()
+	}
+}
+
+func TestShortWritesStillExtendCorrectly(t *testing.T) {
+	// With short writes enabled and the caller retrying, the file must end
+	// exactly at the requested length.
+	e := sim.NewEngine()
+	defer e.Close()
+	cfg := DefaultNFS()
+	cfg.ShortWriteBase = 0.4
+	fs := New(e, cfg, rng.New(7).Derive("fs"))
+	const want = 256 << 20
+	e.Spawn("w", func(p *sim.Proc) {
+		h := fs.OpenRetry(p, 0, "/nscratch/retry", true, nil)
+		var off int64
+		for off < want {
+			res := h.Write(p, off, want-off)
+			if res.N <= 0 {
+				t.Error("write made no progress")
+				return
+			}
+			off += res.N
+		}
+		h.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.FileSize("/nscratch/retry"); got != want {
+		t.Fatalf("size %d, want %d", got, want)
+	}
+}
+
+func TestOpDurationsAlwaysPositive(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	fs := New(e, DefaultNFS(), rng.New(17).Derive("fs"))
+	r := rng.New(18)
+	e.Spawn("w", func(p *sim.Proc) {
+		h := fs.OpenRetry(p, 0, "/nscratch/pos", true, nil)
+		for i := 0; i < 100; i++ {
+			n := int64(1 + r.Intn(4<<20))
+			if res := h.Write(p, int64(i)<<22, n); res.D <= 0 {
+				t.Errorf("write %d: duration %v", i, res.D)
+			}
+			if res := h.Read(p, int64(i)<<22, n); res.D <= 0 {
+				t.Errorf("read %d: duration %v", i, res.D)
+			}
+		}
+		h.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateOpPositiveAcrossKinds(t *testing.T) {
+	for _, kind := range []Kind{NFS, Lustre} {
+		e := sim.NewEngine()
+		var cfg Config
+		if kind == NFS {
+			cfg = DefaultNFS()
+		} else {
+			cfg = DefaultLustre()
+		}
+		fs := New(e, cfg, rng.New(3).Derive("fs"))
+		for _, op := range []OpKind{OpRead, OpWrite, OpOpen, OpClose, OpFlush} {
+			for _, bytes := range []int64{0, 1, 100, 1 << 20} {
+				if d := fs.EstimateOp(op, bytes, time.Second); d <= 0 {
+					t.Fatalf("%s: EstimateOp(%d, %d) = %v", kind, op, bytes, d)
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestConcurrentFilesIndependent(t *testing.T) {
+	// Writers to distinct files must both complete and sizes must not mix.
+	e := sim.NewEngine()
+	defer e.Close()
+	cfg := DefaultLustre()
+	cfg.ShortWriteBase = -1
+	cfg.OpenRetryBase = -1
+	fs := New(e, cfg, rng.New(23).Derive("fs"))
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Spawn("w", func(p *sim.Proc) {
+			path := fs.Mount() + "/file" + string(rune('a'+i))
+			h := fs.OpenRetry(p, i, path, true, nil)
+			h.Write(p, 0, int64(i+1)<<20)
+			h.Close(p)
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		path := fs.Mount() + "/file" + string(rune('a'+i))
+		if got := fs.FileSize(path); got != int64(i+1)<<20 {
+			t.Fatalf("%s size %d", path, got)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package sos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRestore hardens the snapshot parser: arbitrary bytes must either
+// restore or error, never panic or exhaust memory on implausible counts.
+func FuzzRestore(f *testing.F) {
+	c := NewContainer("fz")
+	sch, _ := NewSchema("ev", []AttrSpec{
+		{Name: "job_id", Type: TypeInt64},
+		{Name: "name", Type: TypeString},
+		{Name: "v", Type: TypeFloat64},
+	})
+	_ = c.AddSchema(sch)
+	_, _ = c.AddIndex(IndexSpec{Name: "j", Schema: "ev", Attrs: []string{"job_id"}})
+	for i := 0; i < 5; i++ {
+		_ = c.Insert("ev", Object{int64(i), "x", float64(i)})
+	}
+	var buf bytes.Buffer
+	_ = c.Snapshot(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("SOS-GO-SNAP1garbage here"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c2, err := Restore(bytes.NewReader(data))
+		if err == nil && c2 == nil {
+			t.Fatal("nil container without error")
+		}
+		if err == nil {
+			// A restored container must survive iteration of its indices.
+			for _, name := range c2.Indices() {
+				_ = c2.Iter(name, nil, func(Object) bool { return true })
+			}
+		}
+	})
+}

@@ -1,0 +1,420 @@
+// Package sos is the single-node Scalable Object Store underlying DSOS:
+// schemas of typed attributes, append-only object slabs (partitions),
+// B+tree indices over single or joint attribute keys (the paper's
+// job_rank_time-style indices), ordered iteration, and binary snapshot
+// persistence. The distributed layer (package dsos) shards objects over
+// several of these stores and merges parallel index scans.
+package sos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Type is an attribute type.
+type Type int
+
+// Attribute types supported by schemas.
+const (
+	TypeInt64 Type = iota
+	TypeUint64
+	TypeFloat64
+	TypeString
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt64:
+		return "int64"
+	case TypeUint64:
+		return "uint64"
+	case TypeFloat64:
+		return "float64"
+	case TypeString:
+		return "string"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// AttrSpec declares one schema attribute.
+type AttrSpec struct {
+	Name string
+	Type Type
+}
+
+// Schema is a named, ordered attribute layout.
+type Schema struct {
+	Name   string
+	Attrs  []AttrSpec
+	byName map[string]int
+}
+
+// NewSchema builds a schema; attribute names must be unique.
+func NewSchema(name string, attrs []AttrSpec) (*Schema, error) {
+	if name == "" {
+		return nil, errors.New("sos: empty schema name")
+	}
+	s := &Schema{Name: name, Attrs: attrs, byName: map[string]int{}}
+	for i, a := range attrs {
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("sos: duplicate attribute %q", a.Name)
+		}
+		s.byName[a.Name] = i
+	}
+	return s, nil
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Object is one stored tuple, values aligned with the schema's attributes.
+type Object []any
+
+// Key is a composite index key (attribute values, plus a trailing object id
+// added internally for uniqueness).
+type Key []any
+
+// CompareKeys orders composite keys element-wise. Supported element types:
+// int64, uint64, float64, string. Shorter keys order before longer ones
+// with an equal prefix (enabling prefix scans).
+func CompareKeys(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := compareValue(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func compareValue(a, b any) int {
+	switch av := a.(type) {
+	case int64:
+		bv := b.(int64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case uint64:
+		bv := b.(uint64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case float64:
+		bv := b.(float64)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	case string:
+		bv := b.(string)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+	default:
+		panic(fmt.Sprintf("sos: unsupported key type %T", a))
+	}
+	return 0
+}
+
+// IndexSpec declares a (possibly joint) index, e.g. {"job_id","rank",
+// "timestamp"} named "job_rank_time".
+type IndexSpec struct {
+	Name   string
+	Schema string
+	Attrs  []string
+}
+
+// Index is a live B+tree over a composite key.
+type Index struct {
+	spec     IndexSpec
+	attrIdxs []int
+	tree     *btree
+}
+
+// Spec returns the index declaration.
+func (ix *Index) Spec() IndexSpec { return ix.spec }
+
+// Len returns the number of indexed entries.
+func (ix *Index) Len() int { return ix.tree.size }
+
+// Container is one SOS container: schemas, object slabs and indices.
+type Container struct {
+	Name    string
+	schemas map[string]*Schema
+	slabs   map[string][]Object
+	indices map[string]*Index
+	nextOID uint64
+	// dead marks tombstoned slab positions per schema (monitoring stores
+	// are append-mostly; deletion exists for retention management).
+	dead map[string]map[int]bool
+}
+
+// NewContainer creates an empty container.
+func NewContainer(name string) *Container {
+	return &Container{
+		Name:    name,
+		schemas: map[string]*Schema{},
+		slabs:   map[string][]Object{},
+		indices: map[string]*Index{},
+		dead:    map[string]map[int]bool{},
+	}
+}
+
+// AddSchema registers a schema.
+func (c *Container) AddSchema(s *Schema) error {
+	if _, dup := c.schemas[s.Name]; dup {
+		return fmt.Errorf("sos: schema %q already exists", s.Name)
+	}
+	c.schemas[s.Name] = s
+	return nil
+}
+
+// Schema returns the named schema, or nil.
+func (c *Container) Schema(name string) *Schema { return c.schemas[name] }
+
+// Schemas returns all schema names, sorted.
+func (c *Container) Schemas() []string {
+	out := make([]string, 0, len(c.schemas))
+	for n := range c.schemas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddIndex declares an index; existing objects are back-indexed.
+func (c *Container) AddIndex(spec IndexSpec) (*Index, error) {
+	if _, dup := c.indices[spec.Name]; dup {
+		return nil, fmt.Errorf("sos: index %q already exists", spec.Name)
+	}
+	sch := c.schemas[spec.Schema]
+	if sch == nil {
+		return nil, fmt.Errorf("sos: index %q references unknown schema %q", spec.Name, spec.Schema)
+	}
+	idxs := make([]int, len(spec.Attrs))
+	for i, a := range spec.Attrs {
+		pos := sch.AttrIndex(a)
+		if pos < 0 {
+			return nil, fmt.Errorf("sos: index %q references unknown attribute %q", spec.Name, a)
+		}
+		idxs[i] = pos
+	}
+	ix := &Index{spec: spec, attrIdxs: idxs, tree: newBTree()}
+	c.indices[spec.Name] = ix
+	for pos, obj := range c.slabs[spec.Schema] {
+		if c.dead[spec.Schema][pos] {
+			continue
+		}
+		ix.tree.insert(c.indexKey(ix, obj, uint64(pos)), objRef{schema: spec.Schema, pos: pos})
+	}
+	return ix, nil
+}
+
+// Index returns the named index, or nil.
+func (c *Container) Index(name string) *Index { return c.indices[name] }
+
+// Indices returns all index names, sorted.
+func (c *Container) Indices() []string {
+	out := make([]string, 0, len(c.indices))
+	for n := range c.indices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Container) indexKey(ix *Index, obj Object, oid uint64) Key {
+	key := make(Key, 0, len(ix.attrIdxs)+1)
+	for _, ai := range ix.attrIdxs {
+		key = append(key, obj[ai])
+	}
+	return append(key, oid)
+}
+
+// Insert appends an object to the schema's slab and updates every index on
+// that schema. The object's values must match the schema's types.
+func (c *Container) Insert(schemaName string, obj Object) error {
+	sch := c.schemas[schemaName]
+	if sch == nil {
+		return fmt.Errorf("sos: unknown schema %q", schemaName)
+	}
+	if len(obj) != len(sch.Attrs) {
+		return fmt.Errorf("sos: object has %d values, schema %q has %d attrs", len(obj), schemaName, len(sch.Attrs))
+	}
+	for i, v := range obj {
+		if !typeMatches(sch.Attrs[i].Type, v) {
+			return fmt.Errorf("sos: attribute %q: value %T does not match %s", sch.Attrs[i].Name, v, sch.Attrs[i].Type)
+		}
+	}
+	pos := len(c.slabs[schemaName])
+	c.slabs[schemaName] = append(c.slabs[schemaName], obj)
+	oid := c.nextOID
+	c.nextOID++
+	for _, ix := range c.indices {
+		if ix.spec.Schema == schemaName {
+			ix.tree.insert(c.indexKey(ix, obj, oid), objRef{schema: schemaName, pos: pos})
+		}
+	}
+	return nil
+}
+
+func typeMatches(t Type, v any) bool {
+	switch t {
+	case TypeInt64:
+		_, ok := v.(int64)
+		return ok
+	case TypeUint64:
+		_, ok := v.(uint64)
+		return ok
+	case TypeFloat64:
+		_, ok := v.(float64)
+		return ok
+	case TypeString:
+		_, ok := v.(string)
+		return ok
+	}
+	return false
+}
+
+// Count returns the number of live objects stored under schema.
+func (c *Container) Count(schema string) int {
+	return len(c.slabs[schema]) - len(c.dead[schema])
+}
+
+// DeleteWhere tombstones every object whose key prefix in the given index
+// lies in [from, to) and returns how many were removed. Tombstoned objects
+// disappear from all iteration immediately; Compact reclaims their space.
+// This is the retention-management path of a monitoring store (drop old
+// jobs' data).
+func (c *Container) DeleteWhere(indexName string, from, to Key) (int, error) {
+	ix := c.indices[indexName]
+	if ix == nil {
+		return 0, fmt.Errorf("sos: unknown index %q", indexName)
+	}
+	schema := ix.spec.Schema
+	marks := c.dead[schema]
+	if marks == nil {
+		marks = map[int]bool{}
+		c.dead[schema] = marks
+	}
+	n := 0
+	it := ix.tree.seek(from)
+	for it.valid() {
+		_, ref := it.entry()
+		obj := c.slabs[ref.schema][ref.pos]
+		if to != nil {
+			key := make(Key, 0, len(ix.attrIdxs))
+			for _, ai := range ix.attrIdxs {
+				key = append(key, obj[ai])
+			}
+			if CompareKeys(key, to) >= 0 {
+				break
+			}
+		}
+		if !marks[ref.pos] {
+			marks[ref.pos] = true
+			n++
+		}
+		it.next()
+	}
+	return n, nil
+}
+
+// Compact rebuilds the schema's slab and every index on it without the
+// tombstoned objects, returning the number reclaimed.
+func (c *Container) Compact(schema string) int {
+	marks := c.dead[schema]
+	if len(marks) == 0 {
+		return 0
+	}
+	old := c.slabs[schema]
+	live := make([]Object, 0, len(old)-len(marks))
+	for pos, obj := range old {
+		if !marks[pos] {
+			live = append(live, obj)
+		}
+	}
+	c.slabs[schema] = live
+	delete(c.dead, schema)
+	// Rebuild affected indices.
+	for name, ix := range c.indices {
+		if ix.spec.Schema != schema {
+			continue
+		}
+		spec := ix.spec
+		delete(c.indices, name)
+		if _, err := c.AddIndex(spec); err != nil {
+			// Cannot fail: the spec was previously valid.
+			panic(err)
+		}
+	}
+	return len(marks)
+}
+
+// Iter streams objects in index order, starting at the first key >= from
+// (nil = minimum), until yield returns false or the index is exhausted.
+// from is a prefix of the index's attributes.
+func (c *Container) Iter(indexName string, from Key, yield func(Object) bool) error {
+	ix := c.indices[indexName]
+	if ix == nil {
+		return fmt.Errorf("sos: unknown index %q", indexName)
+	}
+	it := ix.tree.seek(from)
+	for it.valid() {
+		_, ref := it.entry()
+		if !c.dead[ref.schema][ref.pos] {
+			if !yield(c.slabs[ref.schema][ref.pos]) {
+				return nil
+			}
+		}
+		it.next()
+	}
+	return nil
+}
+
+// Range collects objects whose index key (attribute prefix) lies in
+// [from, to) — to is exclusive; nil bounds are open.
+func (c *Container) Range(indexName string, from, to Key) ([]Object, error) {
+	var out []Object
+	err := c.Iter(indexName, from, func(o Object) bool {
+		if to != nil {
+			ix := c.indices[indexName]
+			key := make(Key, 0, len(ix.attrIdxs))
+			for _, ai := range ix.attrIdxs {
+				key = append(key, o[ai])
+			}
+			if CompareKeys(key, to) >= 0 {
+				return false
+			}
+		}
+		out = append(out, o)
+		return true
+	})
+	return out, err
+}

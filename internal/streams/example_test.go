@@ -1,0 +1,26 @@
+package streams_test
+
+import (
+	"fmt"
+
+	"darshanldms/internal/streams"
+)
+
+// The connector publishes JSON events on a tag; a store subscribes to the
+// same tag. Delivery is best-effort: the first publish below happens before
+// any subscription exists and is dropped, never cached.
+func Example() {
+	bus := streams.NewBus()
+	bus.PublishJSON("darshanConnector", []byte(`{"op":"lost"}`)) // no subscriber yet
+
+	bus.Subscribe("darshanConnector", func(m streams.Message) {
+		fmt.Printf("store got %s\n", m.Data)
+	})
+	bus.PublishJSON("darshanConnector", []byte(`{"op":"open"}`))
+
+	st := bus.Stats("darshanConnector")
+	fmt.Printf("published=%d delivered=%d dropped=%d\n", st.Published, st.Delivered, st.Dropped)
+	// Output:
+	// store got {"op":"open"}
+	// published=2 delivered=1 dropped=1
+}

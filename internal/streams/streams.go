@@ -1,0 +1,179 @@
+// Package streams implements the LDMS Streams publish/subscribe bus the
+// connector publishes its I/O event messages to.
+//
+// Semantics follow the paper's description of the (enhanced) LDMS Streams
+// capability: publishers and subscribers rendezvous on a stream *tag*;
+// payloads are variable-length strings or JSON; delivery is best-effort —
+// the bus does not cache, so a message published while no subscriber is
+// attached is simply lost (and counted as dropped); there is no reconnect
+// or resend.
+package streams
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MsgType distinguishes the two payload formats LDMS Streams supports.
+type MsgType int
+
+// Payload formats.
+const (
+	TypeString MsgType = iota
+	TypeJSON
+)
+
+func (t MsgType) String() string {
+	if t == TypeJSON {
+		return "json"
+	}
+	return "string"
+}
+
+// Message is one published stream message.
+type Message struct {
+	Tag  string
+	Type MsgType
+	Data []byte
+}
+
+// Handler consumes delivered messages.
+type Handler func(Message)
+
+// Stats counts bus activity for one tag.
+type Stats struct {
+	Published uint64 // Publish calls
+	Delivered uint64 // handler invocations (Published x subscribers)
+	Dropped   uint64 // publishes that reached no subscriber
+}
+
+// Bus is a stream bus, the per-daemon rendezvous point. It is safe for
+// concurrent use (the TCP transport delivers from multiple connections).
+type Bus struct {
+	mu    sync.Mutex
+	subs  map[string][]*Subscription
+	stats map[string]*Stats
+	seq   int
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: map[string][]*Subscription{}, stats: map[string]*Stats{}}
+}
+
+// Subscription is an active tag subscription; Close detaches it.
+type Subscription struct {
+	bus     *Bus
+	tag     string
+	id      int
+	handler Handler
+	closed  bool
+}
+
+// Tag returns the subscribed tag.
+func (s *Subscription) Tag() string { return s.tag }
+
+// Close detaches the subscription; messages published afterwards are no
+// longer delivered to it.
+func (s *Subscription) Close() {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	list := s.bus.subs[s.tag]
+	for i, sub := range list {
+		if sub == s {
+			s.bus.subs[s.tag] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(s.bus.subs[s.tag]) == 0 {
+		delete(s.bus.subs, s.tag)
+	}
+}
+
+// Subscribe attaches h to tag. Messages published before subscription are
+// not replayed (the bus does not cache).
+func (b *Bus) Subscribe(tag string, h Handler) *Subscription {
+	if h == nil {
+		panic("streams: nil handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	sub := &Subscription{bus: b, tag: tag, id: b.seq, handler: h}
+	b.subs[tag] = append(b.subs[tag], sub)
+	return sub
+}
+
+// Publish delivers msg to all current subscribers of its tag and returns
+// how many received it (0 means the message was dropped).
+func (b *Bus) Publish(msg Message) int {
+	b.mu.Lock()
+	st, ok := b.stats[msg.Tag]
+	if !ok {
+		st = &Stats{}
+		b.stats[msg.Tag] = st
+	}
+	st.Published++
+	list := append([]*Subscription(nil), b.subs[msg.Tag]...)
+	if len(list) == 0 {
+		st.Dropped++
+		b.mu.Unlock()
+		return 0
+	}
+	st.Delivered += uint64(len(list))
+	b.mu.Unlock()
+	// Handlers run outside the lock so they may publish or subscribe.
+	for _, sub := range list {
+		sub.handler(msg)
+	}
+	return len(list)
+}
+
+// PublishJSON publishes a JSON payload on tag.
+func (b *Bus) PublishJSON(tag string, data []byte) int {
+	return b.Publish(Message{Tag: tag, Type: TypeJSON, Data: data})
+}
+
+// PublishString publishes a string payload on tag.
+func (b *Bus) PublishString(tag, data string) int {
+	return b.Publish(Message{Tag: tag, Type: TypeString, Data: []byte(data)})
+}
+
+// Stats returns a snapshot of the counters for tag.
+func (b *Bus) Stats(tag string) Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.stats[tag]; ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// Tags returns the tags with active subscribers.
+func (b *Bus) Tags() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.subs))
+	for tag := range b.subs {
+		out = append(out, tag)
+	}
+	return out
+}
+
+// SubscriberCount returns the number of active subscriptions for tag.
+func (b *Bus) SubscriberCount(tag string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs[tag])
+}
+
+// String summarizes the bus.
+func (b *Bus) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return fmt.Sprintf("streams.Bus{tags: %d}", len(b.subs))
+}

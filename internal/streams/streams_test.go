@@ -1,0 +1,153 @@
+package streams
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var got []string
+	b.Subscribe("darshanConnector", func(m Message) { got = append(got, string(m.Data)) })
+	n := b.PublishJSON("darshanConnector", []byte(`{"op":"open"}`))
+	if n != 1 {
+		t.Fatalf("delivered to %d", n)
+	}
+	if len(got) != 1 || got[0] != `{"op":"open"}` {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTagIsolation(t *testing.T) {
+	b := NewBus()
+	darshan, other := 0, 0
+	b.Subscribe("darshanConnector", func(Message) { darshan++ })
+	b.Subscribe("slurm", func(Message) { other++ })
+	b.PublishString("darshanConnector", "x")
+	b.PublishString("darshanConnector", "y")
+	b.PublishString("slurm", "z")
+	if darshan != 2 || other != 1 {
+		t.Fatalf("darshan=%d other=%d", darshan, other)
+	}
+}
+
+func TestBestEffortDropWithoutSubscriber(t *testing.T) {
+	b := NewBus()
+	if n := b.PublishString("nobody", "lost"); n != 0 {
+		t.Fatalf("delivered to %d, want 0", n)
+	}
+	st := b.Stats("nobody")
+	if st.Published != 1 || st.Dropped != 1 || st.Delivered != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	// No caching: a late subscriber sees nothing.
+	got := 0
+	b.Subscribe("nobody", func(Message) { got++ })
+	if got != 0 {
+		t.Fatal("cached message replayed — streams must not cache")
+	}
+}
+
+func TestMultipleSubscribersEachReceive(t *testing.T) {
+	b := NewBus()
+	a, c := 0, 0
+	b.Subscribe("t", func(Message) { a++ })
+	b.Subscribe("t", func(Message) { c++ })
+	if n := b.PublishString("t", "m"); n != 2 {
+		t.Fatalf("delivered %d", n)
+	}
+	if a != 1 || c != 1 {
+		t.Fatalf("a=%d c=%d", a, c)
+	}
+	if st := b.Stats("t"); st.Delivered != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := NewBus()
+	got := 0
+	sub := b.Subscribe("t", func(Message) { got++ })
+	b.PublishString("t", "1")
+	sub.Close()
+	b.PublishString("t", "2")
+	if got != 1 {
+		t.Fatalf("got %d", got)
+	}
+	if b.SubscriberCount("t") != 0 {
+		t.Fatal("subscriber count not zero")
+	}
+	sub.Close() // idempotent
+}
+
+func TestMessageTypePreserved(t *testing.T) {
+	b := NewBus()
+	var types []MsgType
+	b.Subscribe("t", func(m Message) { types = append(types, m.Type) })
+	b.PublishJSON("t", []byte("{}"))
+	b.PublishString("t", "raw")
+	if types[0] != TypeJSON || types[1] != TypeString {
+		t.Fatalf("types %v", types)
+	}
+	if TypeJSON.String() != "json" || TypeString.String() != "string" {
+		t.Fatal("type names")
+	}
+}
+
+func TestHandlerMayPublish(t *testing.T) {
+	// A relay handler re-publishing to another tag must not deadlock.
+	b := NewBus()
+	final := 0
+	b.Subscribe("upstream", func(Message) { final++ })
+	b.Subscribe("local", func(m Message) { b.Publish(Message{Tag: "upstream", Type: m.Type, Data: m.Data}) })
+	b.PublishString("local", "relayed")
+	if final != 1 {
+		t.Fatalf("relay delivered %d", final)
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBus().Subscribe("t", nil)
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	got := 0
+	b.Subscribe("t", func(Message) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b.PublishString("t", "m")
+			}
+		}()
+	}
+	wg.Wait()
+	if got != 8000 {
+		t.Fatalf("got %d", got)
+	}
+	if st := b.Stats("t"); st.Published != 8000 || st.Delivered != 8000 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTags(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("a", func(Message) {})
+	b.Subscribe("b", func(Message) {})
+	if len(b.Tags()) != 2 {
+		t.Fatalf("tags %v", b.Tags())
+	}
+}

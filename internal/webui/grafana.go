@@ -1,0 +1,95 @@
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Grafana dashboard export: the paper's front end is Grafana, so the
+// server can emit a dashboard definition whose panels point at this
+// server's JSON API (via Grafana's JSON/Infinity datasource). The export
+// is a convenience for users who want the recorded campaigns inside their
+// existing Grafana instead of the built-in SVG panels.
+
+// grafanaPanel is the subset of Grafana's panel schema we emit.
+type grafanaPanel struct {
+	ID      int            `json:"id"`
+	Title   string         `json:"title"`
+	Type    string         `json:"type"`
+	GridPos map[string]int `json:"gridPos"`
+	Targets []grafanaQuery `json:"targets"`
+}
+
+type grafanaQuery struct {
+	RefID string `json:"refId"`
+	URL   string `json:"url"`
+	// Method/format hints for a JSON datasource plugin.
+	Method string `json:"method"`
+	Format string `json:"format"`
+}
+
+type grafanaDashboard struct {
+	Title         string         `json:"title"`
+	UID           string         `json:"uid"`
+	SchemaVersion int            `json:"schemaVersion"`
+	Tags          []string       `json:"tags"`
+	Panels        []grafanaPanel `json:"panels"`
+}
+
+// GrafanaDashboard builds a dashboard definition for the given jobs, with
+// one timeline, one scatter and one ops panel per job, querying this
+// server's API at baseURL.
+func GrafanaDashboard(baseURL string, jobs []int64) ([]byte, error) {
+	d := grafanaDashboard{
+		Title:         "Darshan-LDMS run time I/O",
+		UID:           "darshan-ldms",
+		SchemaVersion: 39,
+		Tags:          []string{"darshan", "ldms", "io"},
+	}
+	id := 0
+	y := 0
+	for _, job := range jobs {
+		panels := []struct {
+			title, typ, path string
+		}{
+			{fmt.Sprintf("job %d: bytes over time", job), "timeseries", fmt.Sprintf("/api/job/%d/timeline", job)},
+			{fmt.Sprintf("job %d: op durations", job), "scatter", fmt.Sprintf("/api/job/%d/scatter", job)},
+			{fmt.Sprintf("job %d: op counts", job), "barchart", fmt.Sprintf("/api/job/%d/ops", job)},
+		}
+		for i, p := range panels {
+			id++
+			d.Panels = append(d.Panels, grafanaPanel{
+				ID:      id,
+				Title:   p.title,
+				Type:    p.typ,
+				GridPos: map[string]int{"x": i * 8, "y": y, "w": 8, "h": 8},
+				Targets: []grafanaQuery{{
+					RefID:  "A",
+					URL:    baseURL + p.path,
+					Method: "GET",
+					Format: "table",
+				}},
+			})
+		}
+		y += 8
+	}
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// handleGrafanaExport serves the dashboard JSON at /api/grafana-dashboard.
+func (s *Server) handleGrafanaExport(w http.ResponseWriter, r *http.Request) {
+	jobs, err := s.client.DistinctJobs()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	base := queryStr(r, "base", "http://"+r.Host)
+	out, err := GrafanaDashboard(base, jobs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(out)
+}

@@ -1,0 +1,265 @@
+// Package webui is the HPC Web Services equivalent: a net/http dashboard
+// server that queries the DSOS store through the analysis modules and
+// renders Grafana-style panels (timeseries bars, scatter plots, grouped bar
+// charts with error bars) as standalone SVG.
+package webui
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chart geometry shared by the SVG renderers.
+const (
+	chartW   = 900
+	chartH   = 360
+	marginL  = 70
+	marginR  = 20
+	marginT  = 40
+	marginB  = 50
+	plotW    = chartW - marginL - marginR
+	plotH    = chartH - marginT - marginB
+	colWrite = "#4477cc"
+	colRead  = "#44aa66"
+	colGrid  = "#dddddd"
+	colText  = "#333333"
+)
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func newSVG(title string) *svgBuilder {
+	s := &svgBuilder{}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, chartW, chartH, chartW, chartH)
+	s.b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&s.b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" fill="%s">%s</text>`, marginL, colText, escape(title))
+	return s
+}
+
+func (s *svgBuilder) finish() string {
+	s.b.WriteString("</svg>")
+	return s.b.String()
+}
+
+func escape(t string) string {
+	t = strings.ReplaceAll(t, "&", "&amp;")
+	t = strings.ReplaceAll(t, "<", "&lt;")
+	t = strings.ReplaceAll(t, ">", "&gt;")
+	return t
+}
+
+// axes draws the frame, grid lines and numeric labels.
+func (s *svgBuilder) axes(xMin, xMax, yMin, yMax float64, xLabel, yLabel string) {
+	fmt.Fprintf(&s.b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="%s"/>`, marginL, marginT, plotW, plotH, colText)
+	for i := 0; i <= 5; i++ {
+		frac := float64(i) / 5
+		// horizontal grid + y labels
+		y := float64(marginT) + float64(plotH)*(1-frac)
+		v := yMin + (yMax-yMin)*frac
+		fmt.Fprintf(&s.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`, marginL, y, marginL+plotW, y, colGrid)
+		fmt.Fprintf(&s.b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" fill="%s" text-anchor="end">%s</text>`, marginL-6, y+4, colText, fmtNum(v))
+		// x labels
+		x := float64(marginL) + float64(plotW)*frac
+		xv := xMin + (xMax-xMin)*frac
+		fmt.Fprintf(&s.b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" fill="%s" text-anchor="middle">%s</text>`, x, marginT+plotH+16, colText, fmtNum(xv))
+	}
+	fmt.Fprintf(&s.b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" fill="%s" text-anchor="middle">%s</text>`, marginL+plotW/2, chartH-10, colText, escape(xLabel))
+	fmt.Fprintf(&s.b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" fill="%s" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`, marginT+plotH/2, colText, marginT+plotH/2, escape(yLabel))
+}
+
+func fmtNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || av == 0:
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func xPix(v, min, max float64) float64 {
+	if max <= min {
+		max = min + 1
+	}
+	return float64(marginL) + (v-min)/(max-min)*float64(plotW)
+}
+
+func yPix(v, min, max float64) float64 {
+	if max <= min {
+		max = min + 1
+	}
+	return float64(marginT) + (1-(v-min)/(max-min))*float64(plotH)
+}
+
+// TimelineSeries renders paired write/read bars per time bin (the Fig 9 /
+// Grafana panel).
+type TimelineSeries struct {
+	Title  string
+	Starts []float64
+	Ends   []float64
+	Write  []float64
+	Read   []float64
+	YLabel string
+}
+
+// RenderTimeline produces the SVG panel.
+func RenderTimeline(ts TimelineSeries) string {
+	s := newSVG(ts.Title)
+	if len(ts.Starts) == 0 {
+		return s.finish()
+	}
+	xMin, xMax := ts.Starts[0], ts.Ends[len(ts.Ends)-1]
+	yMax := 1.0
+	for i := range ts.Write {
+		yMax = math.Max(yMax, math.Max(ts.Write[i], ts.Read[i]))
+	}
+	s.axes(xMin, xMax, 0, yMax, "time (s)", ts.YLabel)
+	for i := range ts.Starts {
+		x0 := xPix(ts.Starts[i], xMin, xMax)
+		x1 := xPix(ts.Ends[i], xMin, xMax)
+		w := (x1 - x0) * 0.42
+		if ts.Write[i] > 0 {
+			y := yPix(ts.Write[i], 0, yMax)
+			fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x0+1, y, w, float64(marginT+plotH)-y, colWrite)
+		}
+		if ts.Read[i] > 0 {
+			y := yPix(ts.Read[i], 0, yMax)
+			fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x0+1+w, y, w, float64(marginT+plotH)-y, colRead)
+		}
+	}
+	legend(&s.b, colWrite, "writes", colRead, "reads")
+	return s.finish()
+}
+
+// ScatterSeries renders duration-vs-time points (the Fig 8 panel).
+type ScatterSeries struct {
+	Title string
+	// Per point: time, duration, isWrite.
+	T, D    []float64
+	IsWrite []bool
+}
+
+// RenderScatter produces the SVG panel.
+func RenderScatter(sc ScatterSeries) string {
+	s := newSVG(sc.Title)
+	if len(sc.T) == 0 {
+		return s.finish()
+	}
+	xMax, yMax := 1.0, 1.0
+	for i := range sc.T {
+		xMax = math.Max(xMax, sc.T[i])
+		yMax = math.Max(yMax, sc.D[i])
+	}
+	s.axes(0, xMax, 0, yMax, "time (s)", "op duration (s)")
+	for i := range sc.T {
+		col := colRead
+		if sc.IsWrite[i] {
+			col = colWrite
+		}
+		fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s" fill-opacity="0.55"/>`,
+			xPix(sc.T[i], 0, xMax), yPix(sc.D[i], 0, yMax), col)
+	}
+	legend(&s.b, colWrite, "writes", colRead, "reads")
+	return s.finish()
+}
+
+// BarGroup is one labelled bar with an optional error bar (Fig 5 panels).
+type BarGroup struct {
+	Label string
+	Value float64
+	Err   float64
+}
+
+// RenderBars produces a bar chart with 95% CI whiskers.
+func RenderBars(title, yLabel string, bars []BarGroup) string {
+	s := newSVG(title)
+	if len(bars) == 0 {
+		return s.finish()
+	}
+	yMax := 1.0
+	for _, b := range bars {
+		yMax = math.Max(yMax, b.Value+b.Err)
+	}
+	s.axes(0, float64(len(bars)), 0, yMax, "", yLabel)
+	bw := float64(plotW) / float64(len(bars))
+	for i, b := range bars {
+		x := float64(marginL) + bw*float64(i)
+		y := yPix(b.Value, 0, yMax)
+		fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`, x+bw*0.15, y, bw*0.7, float64(marginT+plotH)-y, colWrite)
+		if b.Err > 0 {
+			cx := x + bw/2
+			yHi := yPix(b.Value+b.Err, 0, yMax)
+			yLo := yPix(math.Max(0, b.Value-b.Err), 0, yMax)
+			fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5"/>`, cx, yHi, cx, yLo, colText)
+			fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`, cx-5, yHi, cx+5, yHi, colText)
+			fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`, cx-5, yLo, cx+5, yLo, colText)
+		}
+		fmt.Fprintf(&s.b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" fill="%s" text-anchor="middle">%s</text>`, x+bw/2, marginT+plotH+30, colText, escape(b.Label))
+	}
+	return s.finish()
+}
+
+// HeatmapGrid is a rank-by-time byte-volume grid (the Darshan HEATMAP /
+// DXT view: which ranks moved data when).
+type HeatmapGrid struct {
+	Title string
+	TMax  float64     // seconds covered by the columns
+	Cells [][]float64 // [rank][bin] byte volume
+}
+
+// RenderHeatmap produces the SVG panel: x = time, y = rank, intensity =
+// bytes.
+func RenderHeatmap(g HeatmapGrid) string {
+	s := newSVG(g.Title)
+	nr := len(g.Cells)
+	if nr == 0 {
+		return s.finish()
+	}
+	nb := 0
+	max := 0.0
+	for _, row := range g.Cells {
+		if len(row) > nb {
+			nb = len(row)
+		}
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if nb == 0 || max == 0 {
+		return s.finish()
+	}
+	s.axes(0, g.TMax, 0, float64(nr), "time (s)", "rank")
+	cw := float64(plotW) / float64(nb)
+	ch := float64(plotH) / float64(nr)
+	for r, row := range g.Cells {
+		for b, v := range row {
+			if v <= 0 {
+				continue
+			}
+			// Perceived intensity on a sqrt scale.
+			alpha := 0.15 + 0.85*math.Sqrt(v/max)
+			x := float64(marginL) + cw*float64(b)
+			y := float64(marginT) + float64(plotH) - ch*float64(r+1)
+			fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.3f"/>`,
+				x, y, cw, ch, colWrite, alpha)
+		}
+	}
+	return s.finish()
+}
+
+func legend(b *strings.Builder, col1, label1, col2, label2 string) {
+	x := chartW - 200
+	fmt.Fprintf(b, `<rect x="%d" y="12" width="12" height="12" fill="%s"/>`, x, col1)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-family="sans-serif" font-size="12" fill="%s">%s</text>`, x+16, colText, label1)
+	fmt.Fprintf(b, `<rect x="%d" y="12" width="12" height="12" fill="%s"/>`, x+90, col2)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-family="sans-serif" font-size="12" fill="%s">%s</text>`, x+106, colText, label2)
+}

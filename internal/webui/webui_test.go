@@ -1,0 +1,297 @@
+package webui
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/ldms"
+	"darshanldms/internal/rng"
+)
+
+func seededClient(t *testing.T) *dsos.Client {
+	t.Helper()
+	c := dsos.NewCluster(2, "darshan_data")
+	if err := dsos.SetupDarshan(c); err != nil {
+		t.Fatal(err)
+	}
+	cl := dsos.Connect(c)
+	for job := int64(1); job <= 2; job++ {
+		for i := 0; i < 50; i++ {
+			op := "write"
+			if i%5 == 0 {
+				op = "read"
+			}
+			m := jsonmsg.Message{
+				UID: 1, Exe: jsonmsg.NA, JobID: job, Rank: i % 8,
+				ProducerName: "nid00040", File: jsonmsg.NA, RecordID: 9,
+				Module: "POSIX", Type: jsonmsg.TypeMOD, Op: op, MaxByte: -1,
+				Seg: []jsonmsg.Segment{{
+					DataSet: jsonmsg.NA, PtSel: -1, IrregHSlab: -1, RegHSlab: -1,
+					NDims: -1, NPoints: -1, Off: int64(i) * 4096, Len: 4096,
+					Dur: 0.01 * float64(i%7+1), Timestamp: 1.6e9 + float64(i),
+				}},
+			}
+			for _, o := range dsos.ObjectsFromMessage(&m) {
+				if err := cl.Insert(dsos.DarshanSchemaName, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return cl
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	d := ldms.NewDaemon("ldmsd0", "nid00040")
+	d.AddSampler(ldms.NewMeminfoSampler(64<<20, rng.New(1)))
+	d.SampleOnce(0)
+	srv := httptest.NewServer(NewServer(seededClient(t), []*ldms.Daemon{d}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestIndexListsJobs(t *testing.T) {
+	srv := newTestServer(t)
+	code, body, _ := get(t, srv.URL+"/")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{"job_id 1", "job_id 2", "timeline.svg", "Darshan-LDMS"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q", want)
+		}
+	}
+}
+
+func TestJobsAPI(t *testing.T) {
+	srv := newTestServer(t)
+	code, body, hdr := get(t, srv.URL+"/api/jobs")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Fatalf("status %d type %s", code, hdr.Get("Content-Type"))
+	}
+	var jobs []int64
+	if err := json.Unmarshal([]byte(body), &jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0] != 1 || jobs[1] != 2 {
+		t.Fatalf("jobs %v", jobs)
+	}
+}
+
+func TestTimelineAPI(t *testing.T) {
+	srv := newTestServer(t)
+	code, body, _ := get(t, srv.URL+"/api/job/1/timeline?bins=10")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var bins []map[string]any
+	if err := json.Unmarshal([]byte(body), &bins); err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("bins %d", len(bins))
+	}
+}
+
+func TestScatterAPI(t *testing.T) {
+	srv := newTestServer(t)
+	code, body, _ := get(t, srv.URL+"/api/job/2/scatter")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var pts []map[string]any
+	if err := json.Unmarshal([]byte(body), &pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("points %d", len(pts))
+	}
+}
+
+func TestOpsAndPerNodeAPI(t *testing.T) {
+	srv := newTestServer(t)
+	if code, body, _ := get(t, srv.URL+"/api/job/1/ops"); code != 200 || !strings.Contains(body, "write") {
+		t.Fatalf("ops: %d %s", code, body)
+	}
+	if code, body, _ := get(t, srv.URL+"/api/job/1/pernode?ops=write"); code != 200 || !strings.Contains(body, "nid00040") {
+		t.Fatalf("pernode: %d %s", code, body)
+	}
+}
+
+func TestChartsAreSVG(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{
+		"/chart/job/1/timeline.svg",
+		"/chart/job/1/scatter.svg",
+		"/chart/job/1/ops.svg",
+		"/chart/job/1/pernode.svg?op=write",
+		"/chart/job/1/heatmap.svg",
+	} {
+		code, body, hdr := get(t, srv.URL+path)
+		if code != 200 {
+			t.Fatalf("%s status %d", path, code)
+		}
+		if !strings.Contains(hdr.Get("Content-Type"), "svg") {
+			t.Fatalf("%s content type %s", path, hdr.Get("Content-Type"))
+		}
+		if !strings.HasPrefix(body, "<svg") || !strings.HasSuffix(body, "</svg>") {
+			t.Fatalf("%s not a complete svg", path)
+		}
+	}
+}
+
+func TestMetricsAPI(t *testing.T) {
+	srv := newTestServer(t)
+	code, body, _ := get(t, srv.URL+"/api/metrics")
+	if code != 200 || !strings.Contains(body, "meminfo") {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	if code, _, _ := get(t, srv.URL+"/api/job/notanumber/timeline"); code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/api/job/1/unknown"); code != http.StatusNotFound {
+		t.Fatalf("unknown endpoint status %d", code)
+	}
+	if code, _, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("random path status %d", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	if code, body, _ := get(t, srv.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz %d %s", code, body)
+	}
+}
+
+func TestSVGRenderersEmptyData(t *testing.T) {
+	if out := RenderTimeline(TimelineSeries{Title: "empty"}); !strings.HasSuffix(out, "</svg>") {
+		t.Fatal("empty timeline")
+	}
+	if out := RenderScatter(ScatterSeries{Title: "empty"}); !strings.HasSuffix(out, "</svg>") {
+		t.Fatal("empty scatter")
+	}
+	if out := RenderBars("empty", "y", nil); !strings.HasSuffix(out, "</svg>") {
+		t.Fatal("empty bars")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	out := RenderBars("title with <angle> & ampersand", "y", []BarGroup{{Label: "<op>", Value: 1}})
+	if strings.Contains(out, "<angle>") || strings.Contains(out, "<op>") {
+		t.Fatal("unescaped text in svg")
+	}
+	if !strings.Contains(out, "&lt;angle&gt;") {
+		t.Fatal("escape missing")
+	}
+}
+
+func TestTopFilesAPI(t *testing.T) {
+	srv := newTestServer(t)
+	code, body, _ := get(t, srv.URL+"/api/job/1/topfiles?n=5")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var files []map[string]any
+	if err := json.Unmarshal([]byte(body), &files); err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no files")
+	}
+}
+
+func TestIndexFlagsAnomalousJob(t *testing.T) {
+	cl := seededClientWithAnomaly(t)
+	srv := httptest.NewServer(NewServer(cl, nil))
+	t.Cleanup(srv.Close)
+	code, body, _ := get(t, srv.URL+"/")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, "anomalous jobs detected") || !strings.Contains(body, "job 2") {
+		t.Fatal("index does not flag the anomalous job")
+	}
+}
+
+func seededClientWithAnomaly(t *testing.T) *dsos.Client {
+	t.Helper()
+	c := dsos.NewCluster(2, "darshan_data")
+	if err := dsos.SetupDarshan(c); err != nil {
+		t.Fatal(err)
+	}
+	cl := dsos.Connect(c)
+	for job := int64(1); job <= 3; job++ {
+		dur := 0.05
+		if job == 2 {
+			dur = 30.0
+		}
+		for i := 0; i < 20; i++ {
+			m := jsonmsg.Message{
+				UID: 1, Exe: jsonmsg.NA, JobID: job, Rank: i % 4,
+				ProducerName: "nid00040", File: jsonmsg.NA, RecordID: 9,
+				Module: "POSIX", Type: jsonmsg.TypeMOD, Op: "write", MaxByte: -1,
+				Seg: []jsonmsg.Segment{{
+					DataSet: jsonmsg.NA, PtSel: -1, IrregHSlab: -1, RegHSlab: -1,
+					NDims: -1, NPoints: -1, Len: 4096, Dur: dur, Timestamp: 1.6e9 + float64(i),
+				}},
+			}
+			for _, o := range dsos.ObjectsFromMessage(&m) {
+				if err := cl.Insert(dsos.DarshanSchemaName, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return cl
+}
+
+func TestGrafanaDashboardExport(t *testing.T) {
+	srv := newTestServer(t)
+	code, body, hdr := get(t, srv.URL+"/api/grafana-dashboard")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Fatalf("status %d type %s", code, hdr.Get("Content-Type"))
+	}
+	var d map[string]any
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d["uid"] != "darshan-ldms" {
+		t.Fatalf("uid %v", d["uid"])
+	}
+	panels := d["panels"].([]any)
+	if len(panels) != 6 { // 2 jobs x 3 panels
+		t.Fatalf("panels %d", len(panels))
+	}
+	first := panels[0].(map[string]any)
+	targets := first["targets"].([]any)
+	url := targets[0].(map[string]any)["url"].(string)
+	if !strings.Contains(url, "/api/job/1/timeline") {
+		t.Fatalf("target url %q", url)
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench bench-full experiments examples clean
+.PHONY: all build vet test check bench bench-full experiments examples clean
 
 all: build vet test
 
@@ -14,6 +14,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Static checks plus the full test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # Scaled-down benchmarks: one per table/figure plus pipeline microbenches.
 bench:

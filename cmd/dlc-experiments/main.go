@@ -5,9 +5,10 @@
 //
 //	dlc-experiments [-seed N] [-reps N] [-scale F] [-out DIR] [-only LIST]
 //
-// -only selects a comma-separated subset of {2a,2b,2c,ablation,sweep,5,6,7,8,9};
-// the default runs everything. -scale shrinks the workloads (1.0 = the
-// paper's full configuration; runtimes and message counts scale with it).
+// -only selects a comma-separated subset of
+// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults}; the default runs everything.
+// -scale shrinks the workloads (1.0 = the paper's full configuration;
+// runtimes and message counts scale with it).
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"darshanldms/internal/harness"
+	"darshanldms/internal/simfs"
 	"darshanldms/internal/webui"
 )
 
@@ -26,13 +28,13 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 5)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper's full size)")
 	outDir := flag.String("out", "results", "output directory")
-	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9")
+	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults")
 	bins := flag.Int("bins", 24, "time bins for Figure 9")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *only == "all" {
-		for _, k := range []string{"2a", "2b", "2c", "ablation", "sweep", "5", "6", "7", "8", "9"} {
+		for _, k := range []string{"2a", "2b", "2c", "ablation", "sweep", "5", "6", "7", "8", "9", "faults"} {
 			want[k] = true
 		}
 	} else {
@@ -119,6 +121,13 @@ func main() {
 			fatal(err)
 		}
 		emit("figure6", harness.RenderFigure6(rows))
+	}
+	if want["faults"] {
+		camp, err := harness.FaultCampaign(*seed, *scale, 5_000_000, simfs.Lustre)
+		if err != nil {
+			fatal(err)
+		}
+		emit("faults", harness.RenderFaultCampaign(camp))
 	}
 	if want["7"] || want["8"] || want["9"] {
 		camp, err := harness.MPIIOFigureCampaign(*seed, *reps, *scale)

@@ -10,6 +10,13 @@
 //	ldmsd -listen :4411 [-producer nid00040] [-tag darshanConnector]
 //	      [-forward host:4412] [-store-csv out.csv]
 //	      [-samplers meminfo,vmstat] [-sample-interval 1s]
+//	      [-reconnect] [-spool 1024] [-spool-policy drop-oldest]
+//	      [-heartbeat 5s]
+//
+// By default forwarding is best-effort like LDMS Streams: if the upstream
+// aggregator dies, messages are dropped silently. -reconnect switches the
+// uplink to a ReconnectingForwarder that spools undelivered messages and
+// redials with backoff; -heartbeat adds liveness probes on the link.
 package main
 
 import (
@@ -35,6 +42,10 @@ func main() {
 	statsEvery := flag.Duration("stats", 10*time.Second, "stats reporting interval")
 	samplers := flag.String("samplers", "", "comma list of sampler plugins to run: meminfo,vmstat")
 	sampleEvery := flag.Duration("sample-interval", time.Second, "sampler interval")
+	reconnect := flag.Bool("reconnect", false, "resilient forwarding: spool + redial with backoff instead of best-effort")
+	spoolSize := flag.Int("spool", 1024, "reconnect spool size in messages")
+	spoolPolicy := flag.String("spool-policy", "drop-oldest", "spool overflow policy: drop-oldest, drop-newest or block")
+	heartbeat := flag.Duration("heartbeat", 0, "liveness probe interval on the reconnect uplink (0 = off)")
 	flag.Parse()
 
 	d := ldms.NewDaemon("ldmsd", *producer)
@@ -75,14 +86,35 @@ func main() {
 		csv = ldms.NewCSVStore(f)
 		d.AttachStore(*tag, csv)
 	}
+	var fwd *ldms.ReconnectingForwarder
 	if *forward != "" {
-		client, err := ldms.DialTCP(*forward)
-		if err != nil {
-			fatal(err)
+		if *reconnect {
+			policy, err := ldms.ParseOverflowPolicy(*spoolPolicy)
+			if err != nil {
+				fatal(err)
+			}
+			fwd, err = ldms.NewReconnectingForwarder(d, ldms.ForwarderConfig{
+				Addr:           *forward,
+				Tag:            *tag,
+				SpoolSize:      *spoolSize,
+				Overflow:       policy,
+				HeartbeatEvery: *heartbeat,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer fwd.Close()
+			fmt.Fprintf(os.Stderr, "ldmsd: resilient forwarding tag %q to %s (spool %d, %s)\n",
+				*tag, *forward, *spoolSize, policy)
+		} else {
+			client, err := ldms.DialTCP(*forward)
+			if err != nil {
+				fatal(err)
+			}
+			defer client.Close()
+			ldms.ForwardTCP(d, *tag, client)
+			fmt.Fprintf(os.Stderr, "ldmsd: forwarding tag %q to %s\n", *tag, *forward)
 		}
-		defer client.Close()
-		ldms.ForwardTCP(d, *tag, client)
-		fmt.Fprintf(os.Stderr, "ldmsd: forwarding tag %q to %s\n", *tag, *forward)
 	}
 
 	srv, err := ldms.ListenTCP(d, *listen)
@@ -99,10 +131,20 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			fmt.Fprintf(os.Stderr, "ldmsd: received=%d stored-bytes=%d metric-sets=%d\n", srv.Received(), count.Bytes(), len(d.Sets()))
+			line := fmt.Sprintf("ldmsd: received=%d stored-bytes=%d metric-sets=%d", srv.Received(), count.Bytes(), len(d.Sets()))
+			if fwd != nil {
+				st := fwd.Stats()
+				line += fmt.Sprintf(" fwd-sent=%d fwd-spool=%d fwd-dropped=%d fwd-reconnects=%d connected=%v",
+					st.Sent, st.SpoolDepth, st.Dropped, st.Reconnects, st.Connected)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		case <-sig:
 			if csv != nil {
 				_ = csv.Flush()
+			}
+			if fwd != nil {
+				// Give the spool a chance to drain before exiting.
+				_ = fwd.Flush(5 * time.Second)
 			}
 			fmt.Fprintf(os.Stderr, "ldmsd: shutting down after %d messages\n", srv.Received())
 			return

@@ -19,9 +19,10 @@ import (
 // Daemon is one dsosd instance: a storage server holding a container shard.
 // It is safe for concurrent use.
 type Daemon struct {
-	Name string
-	mu   sync.Mutex
-	cont *sos.Container
+	Name  string
+	mu    sync.Mutex
+	cont  *sos.Container
+	fault error // non-nil: operations fail (injected dsosd outage)
 }
 
 // NewDaemon creates a daemon around an empty container.
@@ -48,10 +49,24 @@ func (d *Daemon) AddIndex(spec sos.IndexSpec) error {
 	return err
 }
 
+// SetFault makes every subsequent Insert and query on this daemon fail
+// with err until healed with SetFault(nil) — fault injection for the
+// resilience campaigns (a crashed or wedged dsosd). With the sharded
+// client, a retried Insert rotates to the next (healthy) daemon, so
+// retry-with-timeout turns a dsosd outage into transparent failover.
+func (d *Daemon) SetFault(err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = err
+}
+
 // Insert stores one object.
 func (d *Daemon) Insert(schema string, obj sos.Object) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.fault != nil {
+		return fmt.Errorf("dsos: %s unavailable: %w", d.Name, d.fault)
+	}
 	return d.cont.Insert(schema, obj)
 }
 
@@ -66,6 +81,9 @@ func (d *Daemon) Count(schema string) int {
 func (d *Daemon) rangeQuery(index string, from, to sos.Key) ([]sos.Object, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.fault != nil {
+		return nil, fmt.Errorf("dsos: %s unavailable: %w", d.Name, d.fault)
+	}
 	return d.cont.Range(index, from, to)
 }
 

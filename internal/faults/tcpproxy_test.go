@@ -1,0 +1,94 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"darshanldms/internal/ldms"
+)
+
+func waitReceived(t *testing.T, srv *ldms.TCPServer, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Received() < want && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := srv.Received(); got < want {
+		t.Fatalf("received %d, want >= %d", got, want)
+	}
+}
+
+func TestTCPProxyKillAndPartition(t *testing.T) {
+	agg := ldms.NewDaemon("agg", "head")
+	srv, err := ldms.ListenTCP(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p, err := NewTCPProxy("127.0.0.1:0", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	node := ldms.NewDaemon("node", "nid00040")
+	client, err := ldms.DialTCP(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	sub := ldms.ForwardTCP(node, "darshanConnector", client)
+	defer sub.Close()
+
+	node.Bus().PublishJSON("darshanConnector", []byte(`{"n":1}`))
+	waitReceived(t, srv, 1)
+
+	// Kill the active connection mid-stream: the best-effort forwarder
+	// keeps publishing without error and the data silently vanishes.
+	if n := p.KillConnections(); n != 1 {
+		t.Fatalf("killed %d connections, want 1", n)
+	}
+	for i := 0; i < 5; i++ {
+		node.Bus().PublishJSON("darshanConnector", []byte(`{"n":2}`))
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Received(); got != 1 {
+		t.Fatalf("received %d after kill, want still 1", got)
+	}
+
+	// A fresh connection through the proxy works again...
+	client2, err := ldms.DialTCP(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	sub2 := ldms.ForwardTCP(node, "darshanConnector", client2)
+	defer sub2.Close()
+	node.Bus().PublishJSON("darshanConnector", []byte(`{"n":3}`))
+	waitReceived(t, srv, 2)
+
+	// ...until a partition black-holes the path.
+	p.SetPartitioned(true)
+	for i := 0; i < 5; i++ {
+		node.Bus().PublishJSON("darshanConnector", []byte(`{"n":4}`))
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Received(); got != 2 {
+		t.Fatalf("received %d during partition, want still 2", got)
+	}
+	p.SetPartitioned(false)
+
+	client3, err := ldms.DialTCP(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client3.Close()
+	sub3 := ldms.ForwardTCP(node, "darshanConnector", client3)
+	defer sub3.Close()
+	node.Bus().PublishJSON("darshanConnector", []byte(`{"n":5}`))
+	waitReceived(t, srv, 3)
+
+	if p.Accepted() < 3 {
+		t.Fatalf("accepted %d, want >= 3", p.Accepted())
+	}
+}

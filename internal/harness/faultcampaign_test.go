@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"darshanldms/internal/simfs"
+)
+
+func runCampaign(t *testing.T) *FaultCampaignResult {
+	t.Helper()
+	c, err := FaultCampaign(2022, 0.02, 5_000_000, simfs.Lustre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFaultCampaign(t *testing.T) {
+	c := runCampaign(t)
+
+	if c.Baseline.Published == 0 {
+		t.Fatal("baseline published nothing")
+	}
+	if c.Baseline.Dropped != 0 || c.Baseline.Delivered != c.Baseline.Published {
+		t.Fatalf("baseline lost data: published %d delivered %d dropped %d",
+			c.Baseline.Published, c.Baseline.Delivered, c.Baseline.Dropped)
+	}
+
+	byName := map[string]FaultRunResult{}
+	for _, r := range c.Runs {
+		byName[r.Profile] = r
+	}
+	for _, want := range []string{"daemon-crash", "link-partition", "slow-subscriber"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("campaign missing required profile %q (have %v)", want, profileNames(c))
+		}
+	}
+	if len(c.Runs) < 3 {
+		t.Fatalf("campaign ran %d profiles, want >= 3", len(c.Runs))
+	}
+
+	// Each fault leaves its signature in the counters.
+	if r := byName["daemon-crash"]; r.Dropped == 0 {
+		t.Fatal("daemon crash dropped nothing")
+	}
+	if r := byName["link-partition"]; r.Dropped == 0 {
+		t.Fatal("link partition dropped nothing")
+	}
+	if r := byName["slow-subscriber"]; r.Recovered == 0 {
+		t.Fatal("slow subscriber recovered nothing (stall buffer never released)")
+	}
+	if r, ok := byName["flaky-store"]; ok {
+		if r.StoreRetries == 0 {
+			t.Fatal("flaky store never exercised the retry layer")
+		}
+		// Retries absorb most injected failures: the store loses far less
+		// than it retried.
+		if r.StoreDrops >= r.StoreRetries {
+			t.Fatalf("store drops %d >= retries %d; retry layer ineffective", r.StoreDrops, r.StoreRetries)
+		}
+	}
+	for _, r := range c.Runs {
+		if len(r.Log) == 0 {
+			t.Fatalf("profile %s produced no fault log", r.Profile)
+		}
+	}
+
+	out := RenderFaultCampaign(c)
+	for _, want := range []string{"Fault campaign", "profile", "daemon-crash", "fault log"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered campaign missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultCampaignDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full campaigns")
+	}
+	a := RenderFaultCampaign(runCampaign(t))
+	b := RenderFaultCampaign(runCampaign(t))
+	if a != b {
+		t.Fatalf("same seed produced different campaigns:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+func profileNames(c *FaultCampaignResult) []string {
+	var names []string
+	for _, r := range c.Runs {
+		names = append(names, r.Profile)
+	}
+	return names
+}

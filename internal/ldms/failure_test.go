@@ -120,7 +120,10 @@ func TestRateLimitedRelayShedsLoad(t *testing.T) {
 	defer e.Close()
 	node := NewDaemon("node", "nid00040")
 	agg := NewDaemon("agg", "head")
-	_, st := RateLimitedRelay(e, node, agg, "t", 0, 100) // 100 msg/s cap
+	_, st, err := RateLimitedRelay(e, node, agg, "t", 0, 100) // 100 msg/s cap
+	if err != nil {
+		t.Fatal(err)
+	}
 	count := &CountStore{}
 	agg.AttachStore("t", count)
 	e.Spawn("publisher", func(p *sim.Proc) {
@@ -150,7 +153,10 @@ func TestRateLimitedRelayNoLossUnderCapacity(t *testing.T) {
 	defer e.Close()
 	node := NewDaemon("node", "nid00040")
 	agg := NewDaemon("agg", "head")
-	_, st := RateLimitedRelay(e, node, agg, "t", 0, 1000)
+	_, st, err := RateLimitedRelay(e, node, agg, "t", 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	count := &CountStore{}
 	agg.AttachStore("t", count)
 	e.Spawn("publisher", func(p *sim.Proc) {
@@ -167,13 +173,16 @@ func TestRateLimitedRelayNoLossUnderCapacity(t *testing.T) {
 	}
 }
 
-func TestRateLimitedRelayPanicsOnBadRate(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestRateLimitedRelayRejectsBadRate(t *testing.T) {
 	e := sim.NewEngine()
 	defer e.Close()
-	RateLimitedRelay(e, NewDaemon("a", "a"), NewDaemon("b", "b"), "t", 0, 0)
+	for _, rate := range []float64{0, -1} {
+		sub, st, err := RateLimitedRelay(e, NewDaemon("a", "a"), NewDaemon("b", "b"), "t", 0, rate)
+		if err == nil {
+			t.Fatalf("rate %v: expected error", rate)
+		}
+		if sub != nil || st != nil {
+			t.Fatalf("rate %v: expected nil subscription and stats on error", rate)
+		}
+	}
 }

@@ -1,0 +1,171 @@
+package ldms
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"darshanldms/internal/streams"
+)
+
+// Frame-hardening tests: the wire format must reject zero-length and
+// oversized frames consistently on both ends, accept payloads exactly at
+// the MaxFrame boundary, and surface truncation as an error rather than a
+// hang or a garbage message.
+
+func TestReadFrameRejectsZeroLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+}
+
+func TestWriteFrameNeverProducesZeroLength(t *testing.T) {
+	// Even a zero-valued message marshals to a non-empty JSON envelope, so
+	// the writer's zero-length guard is a consistency backstop; prove the
+	// round trip of the minimal message works and is non-empty on the wire.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, streams.Message{}); err != nil {
+		t.Fatal(err)
+	}
+	n := binary.BigEndian.Uint32(buf.Bytes()[:4])
+	if n == 0 {
+		t.Fatal("writer emitted a zero-length frame")
+	}
+	if _, err := ReadFrame(&buf); err != nil {
+		t.Fatalf("minimal frame rejected: %v", err)
+	}
+}
+
+// frameOfExactSize builds a message whose JSON envelope is exactly n bytes,
+// by measuring the fixed overhead and sizing the (base64-free) Tag string.
+func frameOfExactSize(t *testing.T, n int) streams.Message {
+	t.Helper()
+	probe, err := json.Marshal(wireMsg{Tag: "", Type: int(streams.TypeString), Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := n - len(probe)
+	if pad < 0 {
+		t.Fatalf("frame size %d smaller than envelope overhead %d", n, len(probe))
+	}
+	return streams.Message{Tag: strings.Repeat("a", pad), Type: streams.TypeString, Data: []byte("x")}
+}
+
+func TestWriteFrameAtMaxBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	// Exactly MaxFrame: accepted.
+	m := frameOfExactSize(t, MaxFrame)
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatalf("frame of exactly MaxFrame rejected: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("read back of MaxFrame frame failed: %v", err)
+	}
+	if got.Tag != m.Tag {
+		t.Fatal("boundary frame corrupted in round trip")
+	}
+	// One byte over: rejected by the writer before anything hits the wire.
+	buf.Reset()
+	if err := WriteFrame(&buf, frameOfExactSize(t, MaxFrame+1)); err == nil {
+		t.Fatal("frame of MaxFrame+1 accepted by writer")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected frame leaked %d bytes onto the wire", buf.Len())
+	}
+}
+
+func TestReadFrameAtMaxBoundary(t *testing.T) {
+	// A header declaring exactly maxFrame is within bounds; maxFrame+1 is
+	// rejected before the payload is allocated or read.
+	m := frameOfExactSize(t, MaxFrame)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf); err != nil {
+		t.Fatalf("reader rejected boundary frame: %v", err)
+	}
+	var over bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(MaxFrame+1))
+	over.Write(hdr[:])
+	if _, err := ReadFrame(&over); err == nil {
+		t.Fatal("reader accepted maxFrame+1 header")
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	for n := 1; n < 4; n++ {
+		r := bytes.NewReader(make([]byte, n))
+		if _, err := ReadFrame(r); err == nil {
+			t.Fatalf("truncated %d-byte header accepted", n)
+		}
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, streams.Message{Tag: "t", Type: streams.TypeJSON, Data: []byte(`{"a":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	// Every strict prefix that includes a complete header must error with
+	// an unexpected-EOF class failure, never a parsed message.
+	for cut := 4; cut < len(whole); cut++ {
+		_, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("truncated payload (cut at %d of %d) accepted", cut, len(whole))
+		}
+		if cut > 4 && err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestPeerDiesMidFrameOverTCP drives the truncation path over a real
+// socket: the peer writes a header promising more bytes than it sends and
+// dies. The server side must fail the read, drop only that connection and
+// keep serving others (it must not publish a partial message).
+func TestPeerDiesMidFrameOverTCP(t *testing.T) {
+	agg := NewDaemon("agg", "head")
+	srv, err := ListenTCP(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	evil, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1000)
+	evil.Write(hdr[:])
+	evil.Write([]byte("only-a-fragment"))
+	evil.Close() // die mid-frame
+
+	// An honest client on a second connection still gets through.
+	client, err := DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Publish(streams.Message{Tag: "t", Type: streams.TypeJSON, Data: []byte(`{"ok":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Received() < 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if srv.Received() != 1 {
+		t.Fatalf("received %d, want exactly the honest client's 1 (no partial publish)", srv.Received())
+	}
+}

@@ -249,10 +249,12 @@ type RelayStats struct {
 // are dropped — LDMS Streams is best-effort precisely so that a slow hop
 // sheds load instead of buffering unbounded memory on the compute node
 // (the concern Section IV-B raises about pull-based designs).
-// Requires a simulation engine for its clock.
-func RateLimitedRelay(e *sim.Engine, from, to *Daemon, tag string, latency time.Duration, maxRate float64) (*streams.Subscription, *RelayStats) {
+// Requires a simulation engine for its clock. A non-positive maxRate is a
+// configuration error and is reported rather than panicking — the relay is
+// library code running inside long-lived daemons.
+func RateLimitedRelay(e *sim.Engine, from, to *Daemon, tag string, latency time.Duration, maxRate float64) (*streams.Subscription, *RelayStats, error) {
 	if maxRate <= 0 {
-		panic("ldms: rate limit must be positive")
+		return nil, nil, fmt.Errorf("ldms: rate limit must be positive, got %v", maxRate)
 	}
 	st := &RelayStats{}
 	tokens := maxRate // start with a full bucket
@@ -274,7 +276,7 @@ func RateLimitedRelay(e *sim.Engine, from, to *Daemon, tag string, latency time.
 		}
 		to.bus.Publish(m)
 	})
-	return sub, st
+	return sub, st, nil
 }
 
 func minF(a, b float64) float64 {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"darshanldms/internal/streams"
 )
@@ -21,6 +22,16 @@ import (
 // maxFrame bounds a frame to keep a malformed peer from exhausting memory.
 const maxFrame = 16 << 20
 
+// MaxFrame is the largest frame payload the transport accepts, exported so
+// tests and callers can size messages against the boundary.
+const MaxFrame = maxFrame
+
+// HeartbeatTag marks liveness-probe frames exchanged between daemons. The
+// server counts them and refreshes its activity clock but never publishes
+// them onto the bus; the "!" prefix keeps the tag out of the connector's
+// namespace.
+const HeartbeatTag = "!ldms.heartbeat"
+
 type wireMsg struct {
 	Tag  string `json:"tag"`
 	Type int    `json:"type"`
@@ -32,6 +43,9 @@ func WriteFrame(w io.Writer, m streams.Message) error {
 	payload, err := json.Marshal(wireMsg{Tag: m.Tag, Type: int(m.Type), Data: m.Data})
 	if err != nil {
 		return err
+	}
+	if len(payload) == 0 {
+		return errors.New("ldms: zero-length frame")
 	}
 	if len(payload) > maxFrame {
 		return fmt.Errorf("ldms: frame too large (%d bytes)", len(payload))
@@ -52,6 +66,9 @@ func ReadFrame(r io.Reader) (streams.Message, error) {
 		return streams.Message{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return streams.Message{}, errors.New("ldms: zero-length frame")
+	}
 	if n > maxFrame {
 		return streams.Message{}, fmt.Errorf("ldms: oversized frame (%d bytes)", n)
 	}
@@ -69,13 +86,15 @@ func ReadFrame(r io.Reader) (streams.Message, error) {
 // TCPServer accepts transport connections and publishes received messages
 // onto a daemon's bus.
 type TCPServer struct {
-	d        *Daemon
-	ln       net.Listener
-	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
-	closed   bool
-	received uint64
-	wg       sync.WaitGroup
+	d          *Daemon
+	ln         net.Listener
+	mu         sync.Mutex
+	conns      map[net.Conn]struct{}
+	closed     bool
+	received   uint64
+	heartbeats uint64
+	lastSeen   time.Time
+	wg         sync.WaitGroup
 }
 
 // ListenTCP starts a transport listener for the daemon on addr
@@ -99,6 +118,35 @@ func (s *TCPServer) Received() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.received
+}
+
+// Heartbeats returns the number of liveness probes received.
+func (s *TCPServer) Heartbeats() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heartbeats
+}
+
+// LastActivity returns the wall-clock time of the last frame (message or
+// heartbeat); the zero time means nothing has arrived yet. Supervisors use
+// it to decide whether a daemon's upstream link has gone quiet.
+func (s *TCPServer) LastActivity() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeen
+}
+
+// DropConnections forcibly closes every live connection while keeping the
+// listener up — the "TCP connection kill" fault. Clients without reconnect
+// lose the link silently; a ReconnectingForwarder redials.
+func (s *TCPServer) DropConnections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	return n
 }
 
 func (s *TCPServer) acceptLoop() {
@@ -136,6 +184,12 @@ func (s *TCPServer) serve(conn net.Conn) {
 			return // EOF or protocol error: best-effort, drop the link
 		}
 		s.mu.Lock()
+		s.lastSeen = time.Now()
+		if m.Tag == HeartbeatTag {
+			s.heartbeats++
+			s.mu.Unlock()
+			continue
+		}
 		s.received++
 		s.mu.Unlock()
 		s.d.Bus().Publish(m)

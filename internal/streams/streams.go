@@ -143,6 +143,24 @@ func (b *Bus) PublishString(tag, data string) int {
 	return b.Publish(Message{Tag: tag, Type: TypeString, Data: []byte(data)})
 }
 
+// NoteDrops folds n externally observed drops for tag into the bus
+// counters. Transports that buffer messages after Publish succeeded (e.g.
+// the TCP forwarder's spool) use this so that a tag's Stats.Dropped stays
+// the single place to look for lost messages, wherever the loss happened.
+func (b *Bus) NoteDrops(tag string, n uint64) {
+	if n == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.stats[tag]
+	if !ok {
+		st = &Stats{}
+		b.stats[tag] = st
+	}
+	st.Dropped += n
+}
+
 // Stats returns a snapshot of the counters for tag.
 func (b *Bus) Stats(tag string) Stats {
 	b.mu.Lock()

@@ -151,3 +151,55 @@ func TestTags(t *testing.T) {
 		t.Fatalf("tags %v", b.Tags())
 	}
 }
+
+// TestSubscriberReattachMidStream covers the handler-churn scenario: a
+// subscriber closes mid-stream, publishes during the gap are counted as
+// drops, and a replacement subscriber resumes delivery from its attach
+// point — no replay, no stale delivery to the closed handler.
+func TestSubscriberReattachMidStream(t *testing.T) {
+	b := NewBus()
+	var first, second []string
+	sub := b.Subscribe("darshanConnector", func(m Message) { first = append(first, string(m.Data)) })
+	b.PublishString("darshanConnector", "a")
+	b.PublishString("darshanConnector", "b")
+	sub.Close()
+
+	// The gap: no subscriber, best-effort drops.
+	b.PublishString("darshanConnector", "lost1")
+	b.PublishString("darshanConnector", "lost2")
+	b.PublishString("darshanConnector", "lost3")
+
+	b.Subscribe("darshanConnector", func(m Message) { second = append(second, string(m.Data)) })
+	b.PublishString("darshanConnector", "c")
+	b.PublishString("darshanConnector", "d")
+
+	if len(first) != 2 || first[0] != "a" || first[1] != "b" {
+		t.Fatalf("first subscriber got %v, want [a b]", first)
+	}
+	if len(second) != 2 || second[0] != "c" || second[1] != "d" {
+		t.Fatalf("reattached subscriber got %v, want [c d] (no replay of the gap)", second)
+	}
+	st := b.Stats("darshanConnector")
+	if st.Published != 7 || st.Delivered != 4 || st.Dropped != 3 {
+		t.Fatalf("stats %+v, want published 7 delivered 4 dropped 3", st)
+	}
+}
+
+func TestNoteDropsFoldsIntoStats(t *testing.T) {
+	b := NewBus()
+	// Downstream components (e.g. a forwarder spool overflow) account
+	// their losses on the tag even before any publish touched it.
+	b.NoteDrops("darshanConnector", 3)
+	st := b.Stats("darshanConnector")
+	if st.Dropped != 3 || st.Published != 0 {
+		t.Fatalf("stats %+v, want dropped 3 published 0", st)
+	}
+	b.Subscribe("darshanConnector", func(Message) {})
+	b.PublishString("darshanConnector", "x")
+	b.NoteDrops("darshanConnector", 2)
+	b.NoteDrops("darshanConnector", 0) // no-op
+	st = b.Stats("darshanConnector")
+	if st.Dropped != 5 || st.Published != 1 || st.Delivered != 1 {
+		t.Fatalf("stats %+v, want dropped 5 published 1 delivered 1", st)
+	}
+}

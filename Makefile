@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test check bench bench-full experiments examples clean
+.PHONY: all build vet lint test check fuzz-smoke bench bench-full experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,28 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Determinism & safety static analysis (see DESIGN.md "Determinism
+# contract"): no wall clocks or global rand in the sim zone, no map-order
+# leaks, no lock leaks, no silently dropped publish/store errors.
+lint:
+	$(GO) run ./cmd/dlc-lint ./...
+
 test:
 	$(GO) test ./...
 
 # Static checks plus the full test suite under the race detector.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/dlc-lint ./...
 	$(GO) test -race ./...
+
+# Short fuzz pass over every parser-hardening target (CI runs this too).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime $(FUZZTIME) ./internal/darshanlog
+	$(GO) test -run='^$$' -fuzz='FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/jsonmsg
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/ldms
+	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime $(FUZZTIME) ./internal/sos
 
 # Scaled-down benchmarks: one per table/figure plus pipeline microbenches.
 bench:

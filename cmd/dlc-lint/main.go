@@ -1,0 +1,192 @@
+// dlc-lint is the project's determinism & safety static-analysis driver.
+// It walks the module (or the named directories), runs the check suite
+// from internal/lint, and reports findings with file:line, check name and
+// a fix hint.
+//
+// Usage:
+//
+//	dlc-lint [flags] [./... | dir ...]
+//
+//	dlc-lint ./...                      # whole module, text output
+//	dlc-lint -json ./...                # machine-readable findings
+//	dlc-lint -checks walltime,puberr .  # subset of checks
+//	dlc-lint -list                      # describe the suite
+//	dlc-lint -tests ./...               # also analyze _test.go files
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+// load errors. CI gates on this via `make lint` / `make check`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"darshanldms/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	verbose := flag.Bool("v", false, "report soft type-check errors to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Checks() {
+			zones := "all zones"
+			if len(c.Zones) == 1 {
+				zones = c.Zones[0].String() + " zone only"
+			}
+			fmt.Printf("%-12s %s (%s)\n", c.Name, c.Doc, zones)
+		}
+		return
+	}
+
+	checks, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlc-lint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	loader := lint.NewLoader()
+	loader.IncludeTests = *tests
+	var pkgs []*lint.Package
+	for _, arg := range args {
+		loaded, err := load(loader, arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlc-lint:", err)
+			os.Exit(2)
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		if *verbose {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "dlc-lint: %s: type-check: %v\n", pkg.RelPath, terr)
+			}
+		}
+		findings = append(findings, lint.Run(pkg, checks)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dlc-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "dlc-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// load resolves one command-line argument into packages. "dir/..." (and the
+// plain "./...") walks the subtree; a plain directory loads one package.
+func load(loader *lint.Loader, arg string) ([]*lint.Package, error) {
+	recursive := false
+	if strings.HasSuffix(arg, "/...") {
+		recursive = true
+		arg = strings.TrimSuffix(arg, "/...")
+		if arg == "" || arg == "." {
+			arg = "."
+		}
+	}
+	dir, err := filepath.Abs(arg)
+	if err != nil {
+		return nil, err
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	if recursive && dir == root {
+		return loader.LoadTree(root)
+	}
+	modPath, err := lint.ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	if recursive {
+		dirs, err = lint.DiscoverDirs(dir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		dirs = []string{dir}
+	}
+	var pkgs []*lint.Package
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(root, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func selectChecks(names string) ([]*lint.Check, error) {
+	all := lint.Checks()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Check{}
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []*lint.Check
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (have %s)", n, strings.Join(lint.CheckNames(), ", "))
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no checks selected")
+	}
+	return out, nil
+}

@@ -11,7 +11,11 @@
 //	      [-forward host:4412] [-store-csv out.csv]
 //	      [-samplers meminfo,vmstat] [-sample-interval 1s]
 //	      [-reconnect] [-spool 1024] [-spool-policy drop-oldest]
-//	      [-heartbeat 5s]
+//	      [-heartbeat 5s] [-seed 42]
+//
+// -seed pins the sampler RNG so fault campaigns against a real daemon are
+// reproducible; with -seed 0 (the default) the seed derives from the wall
+// clock and is printed so a run can be replayed after the fact.
 //
 // By default forwarding is best-effort like LDMS Streams: if the upstream
 // aggregator dies, messages are dropped silently. -reconnect switches the
@@ -46,6 +50,7 @@ func main() {
 	spoolSize := flag.Int("spool", 1024, "reconnect spool size in messages")
 	spoolPolicy := flag.String("spool-policy", "drop-oldest", "spool overflow policy: drop-oldest, drop-newest or block")
 	heartbeat := flag.Duration("heartbeat", 0, "liveness probe interval on the reconnect uplink (0 = off)")
+	seed := flag.Uint64("seed", 0, "sampler RNG seed; 0 derives one from the wall clock (nonreproducible)")
 	flag.Parse()
 
 	d := ldms.NewDaemon("ldmsd", *producer)
@@ -53,7 +58,13 @@ func main() {
 	d.AttachStore(*tag, count)
 
 	if *samplers != "" {
-		r := rng.New(uint64(time.Now().UnixNano()))
+		// An explicit -seed makes real-daemon fault campaigns reproducible:
+		// the same seed yields the same sampler noise across runs.
+		if *seed == 0 {
+			*seed = uint64(time.Now().UnixNano()) //lint:allow walltime -seed 0 explicitly opts into a wall-clock seed
+			fmt.Fprintf(os.Stderr, "ldmsd: sampler seed %d (pass -seed %d to reproduce)\n", *seed, *seed)
+		}
+		r := rng.New(*seed)
 		for _, name := range strings.Split(*samplers, ",") {
 			switch strings.TrimSpace(name) {
 			case "meminfo":
@@ -65,12 +76,12 @@ func main() {
 				fatal(fmt.Errorf("unknown sampler %q", name))
 			}
 		}
-		start := time.Now()
+		start := time.Now() //lint:allow walltime real daemon: samplers run in wall time
 		go func() {
-			tick := time.NewTicker(*sampleEvery)
+			tick := time.NewTicker(*sampleEvery) //lint:allow walltime real daemon: sampling cadence is wall time
 			defer tick.Stop()
 			for range tick.C {
-				d.SampleOnce(time.Since(start))
+				d.SampleOnce(time.Since(start)) //lint:allow walltime real daemon: metric timestamps are wall time
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "ldmsd: sampling %s every %s\n", *samplers, *sampleEvery)
@@ -126,7 +137,7 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(*statsEvery)
+	tick := time.NewTicker(*statsEvery) //lint:allow walltime real daemon: stats reporting is wall time
 	defer tick.Stop()
 	for {
 		select {

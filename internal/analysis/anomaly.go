@@ -90,9 +90,14 @@ func DetectAnomalies(client *dsos.Client, jobIDs []int64, threshold float64) ([]
 		// Global median (self included): robust as long as fewer than half
 		// the jobs are anomalous, and stable even for small campaigns where
 		// leave-one-out statistics collapse.
+		// Iterate jobIDs, not the map, so the collection order is
+		// deterministic (Median sorts, but the contract is no map-order
+		// leaks into any intermediate sequence).
 		var all []float64
-		for _, v := range perJob {
-			all = append(all, v)
+		for _, job := range jobIDs {
+			if v, ok := perJob[job]; ok {
+				all = append(all, v)
+			}
 		}
 		pop := stats.Median(all)
 		for _, job := range jobIDs {

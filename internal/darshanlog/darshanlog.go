@@ -121,7 +121,10 @@ func Read(r io.Reader) (*Log, error) {
 	if nrec < 0 || nrec > 1<<28 {
 		return nil, fmt.Errorf("darshanlog: implausible record count %d", nrec)
 	}
-	log.Records = make([]*darshan.Record, 0, nrec)
+	// Cap the preallocation: the count is attacker-controlled header data,
+	// and a lying header must not reserve gigabytes before the first
+	// record fails to decode. Append grows the honest case just fine.
+	log.Records = make([]*darshan.Record, 0, min(nrec, 4096))
 	for i := int64(0); i < nrec; i++ {
 		log.Records = append(log.Records, dec.record())
 		if dec.err != nil {
@@ -145,7 +148,7 @@ func Read(r io.Reader) (*Log, error) {
 		if nseg < 0 || nseg > 1<<30 {
 			return nil, fmt.Errorf("darshanlog: implausible segment count %d", nseg)
 		}
-		tr.Segments = make([]darshan.DXTSegment, 0, nseg)
+		tr.Segments = make([]darshan.DXTSegment, 0, min(nseg, 4096))
 		for j := int64(0); j < nseg; j++ {
 			tr.Segments = append(tr.Segments, darshan.DXTSegment{
 				Op:     darshan.Op(dec.str()),

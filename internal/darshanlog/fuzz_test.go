@@ -1,0 +1,53 @@
+package darshanlog
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzRead hardens the binary log parser against corrupt and hostile
+// inputs: arbitrary bytes must either parse or error, never panic or
+// over-allocate, and a successful parse must survive Dump. Seeds start
+// from a valid log (the round-trip fixture) plus targeted corruptions of
+// the header, the gzip envelope and the length-prefixed counts.
+func FuzzRead(f *testing.F) {
+	sum, dxt := sampleSummary()
+	var valid bytes.Buffer
+	if err := Write(&valid, sum, dxt); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2]) // truncated mid-stream
+	f.Add(valid.Bytes()[:len(Magic)+4])         // header only, no gzip body
+	f.Add([]byte{})
+	f.Add([]byte("DARSHAN-GO-LOG"))      // magic, nothing else
+	f.Add([]byte("NOT-A-DARSHAN-LOG!!")) // wrong magic
+	// Version 2: unsupported.
+	bad := append([]byte(nil), valid.Bytes()...)
+	bad[len(Magic)] = 2
+	f.Add(bad)
+	// Flip a byte inside the compressed payload: CRC or decode error.
+	bad = append([]byte(nil), valid.Bytes()...)
+	bad[len(bad)-8] ^= 0xFF
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if log == nil {
+			t.Fatal("nil log without error")
+		}
+		// Sanity bounds the parser promised to enforce.
+		if int64(len(log.Records)) > 1<<28 || int64(len(log.DXT)) > 1<<28 {
+			t.Fatalf("implausible counts escaped validation: %d records, %d traces",
+				len(log.Records), len(log.DXT))
+		}
+		// A parsed log must render without panicking.
+		if err := Dump(io.Discard, log); err != nil {
+			t.Fatalf("Dump of successfully parsed log failed: %v", err)
+		}
+	})
+}

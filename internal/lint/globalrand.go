@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var globalrandCheck = &Check{
+	Name: "globalrand",
+	Doc:  "no math/rand anywhere in non-test code; all randomness flows through seeded internal/rng streams",
+	Run:  runGlobalrand,
+}
+
+// runGlobalrand flags any import of math/rand (v1 or v2). The package-level
+// generator is process-global mutable state: one extra draw anywhere
+// perturbs every downstream experiment, and the default seed path is
+// nondeterministic. internal/rng provides splittable named streams rooted
+// at an explicit seed, so every stochastic decision is attributable and
+// reproducible bit-for-bit.
+func runGlobalrand(p *Pass) {
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			p.Reportf(imp.Pos(),
+				"use darshanldms/internal/rng: rng.New(seed).Derive(\"label\") gives an independent deterministic stream",
+				"import of %s: package-global randomness breaks seeded reproducibility", path)
+		}
+		// Belt and braces: a dot-imported or renamed rand still has the
+		// import flagged above, but also flag package-level vars seeded
+		// from it in case the import line carries an allow for another
+		// reason.
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					v := v
+					ast.Inspect(v, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if _, ok := p.IsPkgCall(file, call, "math/rand", "New", "NewSource", "Seed"); ok {
+							p.Reportf(call.Pos(),
+								"seed an internal/rng.Stream at construction time instead",
+								"package-level math/rand generator")
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package lint implements dlc-lint, the project's determinism & safety
+// static-analysis suite. The paper's value proposition is trustworthy
+// run-time diagnosis: every Darshan event carries an absolute timestamp and
+// the analysis pipeline must reproduce the same tables and figures from the
+// same run. That contract is easy to break silently — a stray time.Now in
+// the simulator, a package-level math/rand, an unsorted map iteration that
+// leaks Go's randomized map order into an output table. dlc-lint encodes
+// the contract as machine-checked rules over go/ast + go/types (stdlib
+// only, no external analysis framework).
+//
+// The module is split into two zones:
+//
+//   - the deterministic sim zone (internal/sim, mpi, simfs, cluster,
+//     connector, darshan, streams, dsos, stats, analysis, harness), where
+//     wall-clock reads are banned outright, and
+//   - the real zone (internal/ldms TCP/resilient transport, faults'
+//     tcpproxy, replay, webui, cmd/*, examples), which talks to actual
+//     sockets and clocks and is exempt from the walltime check.
+//
+// Checks can be suppressed per line with
+//
+//	//lint:allow <check> <reason>
+//
+// placed on the offending line or the line directly above it. A file can
+// force its package's zone (used by fixtures and by real-zone files living
+// in otherwise-deterministic packages) with
+//
+//	//lint:zone sim|real
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Zone classifies a package with respect to the determinism contract.
+type Zone int
+
+const (
+	// ZoneReal marks packages that intentionally touch wall clocks and
+	// real sockets. Only the zone-independent checks run there.
+	ZoneReal Zone = iota
+	// ZoneSim marks the deterministic simulation zone: all virtual-time
+	// code where wall-clock reads corrupt measurements silently.
+	ZoneSim
+)
+
+func (z Zone) String() string {
+	if z == ZoneSim {
+		return "sim"
+	}
+	return "real"
+}
+
+// simZonePaths are the module-relative package paths (and their subtrees)
+// that form the deterministic sim zone. internal/darshanlog is deliberately
+// absent (it is pure but timestamps it decodes are data, not clock reads);
+// matching is per path segment so internal/darshan does not capture it by
+// prefix accident.
+var simZonePaths = []string{
+	"internal/sim",
+	"internal/mpi",
+	"internal/simfs",
+	"internal/cluster",
+	"internal/connector",
+	"internal/darshan",
+	"internal/streams",
+	"internal/dsos",
+	"internal/stats",
+	"internal/analysis",
+	"internal/harness",
+}
+
+// realZonePaths document the explicit allowlist of wall-clock users. They
+// are outside simZonePaths already, so the list is informational: ZoneFor
+// returns ZoneReal for anything not in the sim zone.
+var realZonePaths = []string{
+	"internal/ldms",   // real TCP transport + resilient forwarder
+	"internal/faults", // tcpproxy drives real sockets
+	"internal/replay", // replays captures in wall time
+	"internal/webui",  // HTTP dashboard
+	"cmd",             // all binaries talk to the real world
+	"examples",
+}
+
+// ZoneFor classifies a module-relative package path ("internal/sim",
+// "cmd/ldmsd", ...). Matching is by whole path segment, so
+// "internal/darshan" covers "internal/darshan" and "internal/darshan/x"
+// but not "internal/darshanlog".
+func ZoneFor(relPath string) Zone {
+	for _, p := range simZonePaths {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return ZoneSim
+		}
+	}
+	return ZoneReal
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Hint    string `json:"hint,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Check, f.Message)
+	if f.Hint != "" {
+		s += " [fix: " + f.Hint + "]"
+	}
+	return s
+}
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Dir     string // directory on disk
+	RelPath string // module-relative import path ("internal/sim")
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package // may be nil if type-checking failed hard
+	Info    *types.Info    // always non-nil; possibly partial
+	Zone    Zone
+	// TypeErrors collects soft type-check errors. Checks degrade to
+	// syntactic heuristics when type information is missing.
+	TypeErrors []error
+}
+
+// Pass is the per-package context handed to each check's Run function.
+type Pass struct {
+	*Package
+	check  string
+	report func(Finding)
+}
+
+// Reportf records a finding anchored at pos.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Finding{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+		Hint:    hint,
+	})
+}
+
+// TypeOf returns the type of e, or nil when type information is missing.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier, or nil when type information is missing.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if o := p.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// IsPkgCall reports whether call is pkgPath.<one of names>(...), resolving
+// the qualifier through type info when available and falling back to the
+// file's import table otherwise.
+func (p *Pass) IsPkgCall(file *ast.File, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	matched := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return "", false
+	}
+	if obj := p.ObjectOf(id); obj != nil {
+		pn, ok := obj.(*types.PkgName)
+		if !ok || pn.Imported().Path() != pkgPath {
+			return "", false
+		}
+		return sel.Sel.Name, true
+	}
+	// Syntactic fallback: the qualifier must be the local name of an
+	// import of pkgPath in this file.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != pkgPath {
+			continue
+		}
+		name := localImportName(imp, path)
+		if name == id.Name {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func localImportName(imp *ast.ImportSpec, path string) string {
+	if imp.Name != nil {
+		return imp.Name.Name
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Check is one analyzer in the suite.
+type Check struct {
+	Name string
+	Doc  string
+	// Zones restricts where the check runs; nil means all zones.
+	Zones []Zone
+	Run   func(*Pass)
+}
+
+func (c *Check) appliesTo(z Zone) bool {
+	if len(c.Zones) == 0 {
+		return true
+	}
+	for _, zz := range c.Zones {
+		if zz == z {
+			return true
+		}
+	}
+	return false
+}
+
+// Checks returns the full suite in stable order.
+func Checks() []*Check {
+	return []*Check{
+		walltimeCheck,
+		globalrandCheck,
+		maporderCheck,
+		lockheldCheck,
+		puberrCheck,
+	}
+}
+
+// CheckNames returns the names of every check in the suite.
+func CheckNames() []string {
+	var names []string
+	for _, c := range Checks() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Run executes the given checks over pkg and returns surviving findings
+// (suppressions applied), sorted by position then check name.
+func Run(pkg *Package, checks []*Check) []Finding {
+	allow := collectAllows(pkg)
+	var findings []Finding
+	for _, c := range checks {
+		if !c.appliesTo(pkg.Zone) {
+			continue
+		}
+		pass := &Pass{Package: pkg, check: c.Name}
+		pass.report = func(f Finding) {
+			if allow.permits(f.File, f.Line, f.Check) {
+				return
+			}
+			findings = append(findings, f)
+		}
+		c.Run(pass)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}
+
+// allowTable maps file -> line -> set of allowed check names ("*" = all).
+type allowTable map[string]map[int]map[string]bool
+
+func (t allowTable) permits(file string, line int, check string) bool {
+	lines, ok := t[file]
+	if !ok {
+		return false
+	}
+	for _, ln := range []int{line, line - 1} {
+		if set, ok := lines[ln]; ok && (set[check] || set["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	allowPrefix = "//lint:allow "
+	zonePrefix  = "//lint:zone "
+)
+
+// collectAllows scans every comment in the package for //lint:allow
+// directives. A directive covers its own line and the line directly below
+// it, so both trailing and leading placements work:
+//
+//	time.Sleep(d) //lint:allow walltime warm-up outside measurement
+//
+//	//lint:allow puberr best-effort fan-out, drops are counted
+//	fwd.Publish(m)
+//
+// A directive without a reason is ignored (the reason is part of the
+// contract: reviewers should see why the rule does not apply).
+func collectAllows(pkg *Package) allowTable {
+	t := allowTable{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) < 2 {
+					continue // no reason given: directive is inert
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines, ok := t[pos.Filename]
+				if !ok {
+					lines = map[int]map[string]bool{}
+					t[pos.Filename] = lines
+				}
+				set, ok := lines[pos.Line]
+				if !ok {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				set[fields[0]] = true
+			}
+		}
+	}
+	return t
+}
+
+// zoneDirective scans a package's comments for a //lint:zone directive and
+// returns the forced zone, if any.
+func zoneDirective(files []*ast.File) (Zone, bool) {
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, zonePrefix) {
+					continue
+				}
+				switch strings.TrimSpace(strings.TrimPrefix(c.Text, zonePrefix)) {
+				case "sim":
+					return ZoneSim, true
+				case "real":
+					return ZoneReal, true
+				}
+			}
+		}
+	}
+	return ZoneReal, false
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	root := repoRoot(t)
+	modPath, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", name)
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(root, modPath, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s: no package loaded", name)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type-check: %v", name, terr)
+	}
+	return pkg
+}
+
+var wantRe = regexp.MustCompile(`// want (\w+)`)
+
+// wantedFindings parses the fixture's `// want <check>` markers into a set
+// of "file.go:line:check" keys.
+func wantedFindings(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), i+1, m[1])] = true
+			}
+		}
+	}
+	return want
+}
+
+// TestFixtures runs the whole suite over every golden fixture and compares
+// the findings against the inline `// want <check>` markers. The clean
+// fixture asserts zero findings; the others each force their check to fire
+// and exercise suppression.
+func TestFixtures(t *testing.T) {
+	fixtures := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr", "clean"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			pkg := loadFixture(t, name)
+			findings := Run(pkg, Checks())
+			got := map[string]bool{}
+			for _, f := range findings {
+				got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.File), f.Line, f.Check)] = true
+			}
+			want := wantedFindings(t, pkg.Dir)
+			for k := range want {
+				if !got[k] {
+					t.Errorf("missing finding %s", k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("unexpected finding %s", k)
+				}
+			}
+			if name == "clean" && len(findings) != 0 {
+				t.Errorf("clean fixture produced %d findings: %v", len(findings), findings)
+			}
+		})
+	}
+}
+
+// TestFixtureZones asserts the //lint:zone directive and the path-based
+// classifier both feed Package.Zone correctly.
+func TestFixtureZones(t *testing.T) {
+	if z := loadFixture(t, "walltime").Zone; z != ZoneSim {
+		t.Errorf("walltime fixture zone = %v, want sim (forced by //lint:zone)", z)
+	}
+	if z := loadFixture(t, "puberr").Zone; z != ZoneReal {
+		t.Errorf("puberr fixture zone = %v, want real (no directive, path outside sim zone)", z)
+	}
+}
+
+// TestWalltimeZoneGate: the walltime check must not run outside the sim
+// zone — the same file that fires under //lint:zone sim is silent as real.
+func TestWalltimeZoneGate(t *testing.T) {
+	pkg := loadFixture(t, "walltime")
+	pkg.Zone = ZoneReal
+	for _, f := range Run(pkg, Checks()) {
+		if f.Check == "walltime" {
+			t.Errorf("walltime fired in real zone: %v", f)
+		}
+	}
+}
+
+func TestZoneFor(t *testing.T) {
+	cases := map[string]Zone{
+		"internal/sim":        ZoneSim,
+		"internal/sim/sub":    ZoneSim,
+		"internal/mpi":        ZoneSim,
+		"internal/analysis":   ZoneSim,
+		"internal/darshan":    ZoneSim,
+		"internal/darshanlog": ZoneReal, // prefix of a sim path but a different package
+		"internal/ldms":       ZoneReal,
+		"internal/replay":     ZoneReal,
+		"cmd/ldmsd":           ZoneReal,
+		"examples/quickstart": ZoneReal,
+		".":                   ZoneReal,
+	}
+	for rel, want := range cases {
+		if got := ZoneFor(rel); got != want {
+			t.Errorf("ZoneFor(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}
+
+// TestRepoIsClean runs the suite over the real module tree: the
+// determinism contract must hold on every commit. This doubles as an
+// integration test of the loader against all 20+ packages.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root := repoRoot(t)
+	loader := NewLoader()
+	pkgs, err := loader.LoadTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages — discovery broken?", len(pkgs))
+	}
+	simSeen := false
+	for _, pkg := range pkgs {
+		if pkg.Zone == ZoneSim {
+			simSeen = true
+		}
+		for _, f := range Run(pkg, Checks()) {
+			t.Errorf("%v", f)
+		}
+	}
+	if !simSeen {
+		t.Error("no sim-zone package found — zone classification broken?")
+	}
+}
+
+func TestFindingJSONAndString(t *testing.T) {
+	f := Finding{File: "a/b.go", Line: 12, Col: 3, Check: "walltime", Message: "m", Hint: "h"}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Finding
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != f {
+		t.Fatalf("round trip: %+v != %+v", back, f)
+	}
+	if got := f.String(); got != "a/b.go:12:3: walltime: m [fix: h]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestCheckSuite(t *testing.T) {
+	names := CheckNames()
+	want := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr"}
+	if len(names) != len(want) {
+		t.Fatalf("suite = %v, want %v", names, want)
+	}
+	sort.Strings(names)
+	sort.Strings(want)
+	for i := range names {
+		if names[i] != want[i] {
+			t.Fatalf("suite = %v, want %v", CheckNames(), want)
+		}
+	}
+	for _, c := range Checks() {
+		if c.Doc == "" {
+			t.Errorf("check %s has no doc", c.Name)
+		}
+	}
+}
+
+// TestAllowTable covers the suppression placement rules directly.
+func TestAllowTable(t *testing.T) {
+	tbl := allowTable{"f.go": {10: {"walltime": true}, 20: {"*": true}}}
+	cases := []struct {
+		line  int
+		check string
+		want  bool
+	}{
+		{10, "walltime", true},  // same line
+		{11, "walltime", true},  // directive on the line above
+		{12, "walltime", false}, // two lines down: out of scope
+		{10, "puberr", false},   // different check
+		{21, "puberr", true},    // wildcard
+	}
+	for _, c := range cases {
+		if got := tbl.permits("f.go", c.line, c.check); got != c.want {
+			t.Errorf("permits(line=%d, %s) = %v, want %v", c.line, c.check, got, c.want)
+		}
+	}
+	if tbl.permits("other.go", 10, "walltime") {
+		t.Error("suppression leaked across files")
+	}
+}

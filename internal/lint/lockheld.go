@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var lockheldCheck = &Check{
+	Name: "lockheld",
+	Doc:  "every Lock needs an Unlock on all paths, and no blocking sim primitive may run under a held lock",
+	Run:  runLockheld,
+}
+
+// Blocking virtual-time primitives. Parking a goroutine inside the DES
+// while holding a mutex stalls every other process that touches the lock —
+// in the simulator that is not slowness, it is deadlock, because virtual
+// time only advances when runnable processes yield.
+var blockingPrimNames = map[string]bool{
+	"Wait": true, "Recv": true, "Acquire": true, "Use": true, "Sleep": true,
+}
+
+// simPrimitiveTypeNames lets fixture packages (and future sim-like types)
+// participate without living under internal/sim.
+var simPrimitiveTypeNames = map[string]bool{
+	"Proc": true, "Engine": true, "Barrier": true, "Mailbox": true,
+	"Resource": true, "WaitGroup": true, "Comm": true,
+}
+
+func runLockheld(p *Pass) {
+	for _, file := range p.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				p.lockheldFunc(body)
+			}
+			return true
+		})
+	}
+}
+
+type lockSite struct {
+	call  *ast.CallExpr
+	recv  string // printed receiver expression, e.g. "s.mu"
+	read  bool   // RLock vs Lock
+	block *ast.BlockStmt
+	index int // statement index within block
+}
+
+func (p *Pass) lockheldFunc(body *ast.BlockStmt) {
+	var locks []lockSite
+	inspectSameFunc(body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, st := range blk.List {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			recv, read, ok := p.asLockCall(call)
+			if !ok {
+				continue
+			}
+			locks = append(locks, lockSite{call: call, recv: recv, read: read, block: blk, index: i})
+		}
+		return true
+	})
+	for _, l := range locks {
+		p.checkLock(body, l)
+	}
+}
+
+// asLockCall matches x.Lock() / x.RLock() where x's type (when known) has a
+// matching unlock method in its method set.
+func (p *Pass) asLockCall(call *ast.CallExpr) (recv string, read, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		read = false
+	case "RLock":
+		read = true
+	default:
+		return "", false, false
+	}
+	if t := p.TypeOf(sel.X); t != nil && !hasMethod(t, unlockName(read)) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), read, true
+}
+
+func unlockName(read bool) string {
+	if read {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+func hasMethod(t types.Type, name string) bool {
+	for _, tt := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(tt)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkLock(funcBody *ast.BlockStmt, l lockSite) {
+	want := unlockName(l.read)
+
+	// A deferred unlock anywhere in the function covers every path.
+	if p.hasDeferredUnlock(funcBody, l.recv, want) {
+		return
+	}
+
+	// Collect explicit unlock calls after the Lock.
+	var unlocks []*ast.CallExpr
+	inspectSameFunc(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= l.call.Pos() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == want && types.ExprString(sel.X) == l.recv {
+			unlocks = append(unlocks, call)
+		}
+		return true
+	})
+	if len(unlocks) == 0 {
+		p.Reportf(l.call.Pos(),
+			"add `defer "+l.recv+"."+want+"()` immediately after the Lock",
+			"%s.%s with no matching %s on any path", l.recv, lockName(l.read), want)
+		return
+	}
+	lastUnlock := unlocks[len(unlocks)-1]
+	firstUnlock := unlocks[0]
+
+	// Early returns between the Lock and the last unlock: flag any return
+	// with no unlock textually before it (cheap dominator approximation).
+	inspectSameFunc(funcBody, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= l.call.Pos() || ret.Pos() >= lastUnlock.Pos() {
+			return true
+		}
+		for _, u := range unlocks {
+			if u.Pos() < ret.Pos() {
+				return true
+			}
+		}
+		p.Reportf(ret.Pos(),
+			"unlock before returning, or hoist a `defer "+l.recv+"."+want+"()`",
+			"early return leaves %s locked", l.recv)
+		return true
+	})
+
+	// Blocking sim primitives between the Lock and the first unlock.
+	inspectSameFunc(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= l.call.Pos() || call.Pos() >= firstUnlock.Pos() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !blockingPrimNames[sel.Sel.Name] {
+			return true
+		}
+		if !p.isSimBlockingRecv(sel.X) {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"release "+l.recv+" before blocking in virtual time; a parked holder deadlocks the event loop",
+			"blocking sim primitive %s.%s called while %s is held",
+			types.ExprString(sel.X), sel.Sel.Name, l.recv)
+		return true
+	})
+}
+
+func lockName(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (p *Pass) hasDeferredUnlock(funcBody *ast.BlockStmt, recv, want string) bool {
+	found := false
+	inspectSameFunc(funcBody, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if sel, ok := def.Call.Fun.(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == want && types.ExprString(sel.X) == recv {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSimBlockingRecv reports whether e's type is a virtual-time primitive:
+// declared under internal/sim or internal/mpi, or named like one (fixture
+// escape hatch). sync.Cond and friends stay exempt.
+func (p *Pass) isSimBlockingRecv(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "sync" || path == "time" {
+		return false
+	}
+	if strings.Contains(path, "internal/sim") || strings.Contains(path, "internal/mpi") {
+		return true
+	}
+	return simPrimitiveTypeNames[obj.Name()]
+}

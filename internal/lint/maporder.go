@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var maporderCheck = &Check{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach slices, writers or the event bus without a sort",
+	Run:  runMaporder,
+}
+
+// Order-sensitive sinks inside a map-range body. Appending to an outer
+// slice is flagged only when the slice is never sorted afterwards in the
+// same function; writes and publishes are flagged unconditionally because
+// the bytes are gone before any sort could fix them.
+var (
+	writerSinkNames = map[string]bool{
+		"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+		"Fprintf": true, "Fprintln": true, "Fprint": true,
+		"Printf": true, "Println": true, "Print": true,
+	}
+	publishSinkNames = map[string]bool{
+		"Publish": true, "PublishJSON": true, "PublishString": true, "Emit": true,
+	}
+	sortFuncNames = map[string]bool{
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true,
+		"SortFunc": true, "SortStableFunc": true,
+	}
+)
+
+func runMaporder(p *Pass) {
+	for _, file := range p.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				p.maporderFunc(f, body)
+			}
+			return true
+		})
+	}
+}
+
+// maporderFunc scans one function body (excluding nested function literals,
+// which get their own scan) for map ranges with order-sensitive effects.
+func (p *Pass) maporderFunc(file *ast.File, body *ast.BlockStmt) {
+	inspectSameFunc(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.TypeOf(rng.X)
+		if t == nil {
+			return true // no type info: cannot prove it is a map
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		p.checkMapRange(file, body, rng)
+		return true
+	})
+}
+
+func (p *Pass) checkMapRange(file *ast.File, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	// Pass 1: collect effects inside the range body.
+	var appendees []*ast.Ident // outer slices appended to, in map order
+	seenAppendee := map[string]bool{}
+	sinkReported := false
+	inspectSameFunc(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(call) || i >= len(st.Lhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // appends into map values stay commutative
+				}
+				// Only appends to variables that outlive the loop matter.
+				if obj := p.ObjectOf(id); obj != nil && obj.Pos() > rng.Pos() {
+					continue
+				}
+				if !seenAppendee[id.Name] {
+					seenAppendee[id.Name] = true
+					appendees = append(appendees, id)
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if !sinkReported && (writerSinkNames[name] || publishSinkNames[name]) {
+				sinkReported = true // one finding per range is enough
+				verb := "written out"
+				if publishSinkNames[name] {
+					verb = "published"
+				}
+				p.Reportf(rng.Pos(),
+					"collect into a slice, sort it, then write/publish from the sorted slice",
+					"map iteration order is %s via %s inside the range body", verb, name)
+				return false
+			}
+		}
+		return true
+	})
+
+	// Pass 2: an appended slice is fine if the function sorts it after the
+	// loop (the keys-then-sort idiom).
+	for _, id := range appendees {
+		if p.sortedAfter(funcBody, rng, id) {
+			continue
+		}
+		p.Reportf(rng.Pos(),
+			"sort "+id.Name+" after the loop (sort.Slice / slices.Sort), or iterate sorted keys",
+			"map iteration order leaks into %q (append inside map range with no subsequent sort)", id.Name)
+	}
+}
+
+// sortedAfter reports whether funcBody contains, after rng, a sort.* or
+// slices.Sort* call whose arguments mention the same variable as id.
+func (p *Pass) sortedAfter(funcBody *ast.BlockStmt, rng *ast.RangeStmt, id *ast.Ident) bool {
+	obj := p.ObjectOf(id)
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rng.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortFuncNames[sel.Sel.Name] {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			arg := arg
+			ast.Inspect(arg, func(an ast.Node) bool {
+				aid, ok := an.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj != nil {
+					if p.ObjectOf(aid) == obj {
+						found = true
+					}
+				} else if aid.Name == id.Name {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// inspectSameFunc walks n but does not descend into nested function
+// literals: those bodies are separate scan units.
+func inspectSameFunc(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && x != n {
+			return false
+		}
+		return fn(x)
+	})
+}

@@ -1,0 +1,44 @@
+// Package clean triggers no checks even in the sim zone: the harness
+// asserts zero findings here.
+//
+//lint:zone sim
+package clean
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Totals folds a map commutatively and sorts what it appends.
+type Totals struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+// Add accumulates a duration computed from virtual time.
+func (t *Totals) Add(key string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]time.Duration{}
+	}
+	t.m[key] += d
+}
+
+// Keys returns the keys in deterministic order.
+func (t *Totals) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Horizon is pure time arithmetic: no clock read.
+func Horizon(start time.Duration) time.Duration {
+	return start + 90*time.Second
+}

@@ -1,0 +1,13 @@
+// Package globalrand is a known-bad fixture for the globalrand check.
+package globalrand
+
+import (
+	"math/rand" // want globalrand
+)
+
+// Global is exactly the pattern the check exists to kill: process-global
+// mutable randomness with no owned seed.
+var Global = rand.New(rand.NewSource(1)) // want globalrand
+
+// Roll perturbs every other consumer of Global.
+func Roll() int { return Global.Intn(6) }

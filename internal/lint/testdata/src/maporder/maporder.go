@@ -1,0 +1,72 @@
+// Package maporder is a known-bad fixture for the maporder check.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadAppend leaks Go's randomized map order into the returned slice.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadWrite streams rows in map order: the bytes are nondeterministic
+// before any sort could happen.
+func BadWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+type bus struct{}
+
+func (bus) Publish(s string) {}
+
+// BadPublish emits events in map order.
+func BadPublish(b bus, m map[string]bool) {
+	for k := range m { // want maporder
+		b.Publish(k)
+	}
+}
+
+// GoodSorted is the keys-then-sort idiom: allowed.
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodCommutative only folds values: order-insensitive, allowed.
+func GoodCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodLocalAppend appends to a map value: stays keyed, allowed.
+func GoodLocalAppend(m map[string][]int, src map[string]int) {
+	for k, v := range src {
+		m[k] = append(m[k], v)
+	}
+}
+
+// Suppressed is acknowledged nondeterminism.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	//lint:allow maporder fixture: caller sorts downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

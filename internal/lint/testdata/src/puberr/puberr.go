@@ -1,0 +1,36 @@
+// Package puberr is a known-bad fixture for the puberr check.
+package puberr
+
+// Forwarder mimics the delivery-path API surface.
+type Forwarder struct{}
+
+// Publish delivers a message; the error reports data loss.
+func (f *Forwarder) Publish(b []byte) error { return nil }
+
+// Store persists a message; the error reports data loss.
+func (f *Forwarder) Store(b []byte) error { return nil }
+
+// Ingest loads a batch; the error reports data loss.
+func (f *Forwarder) Ingest(b []byte) (int, error) { return 0, nil }
+
+// Count returns a drop count, not an error: never flagged.
+func (f *Forwarder) Count(b []byte) int { return 0 }
+
+// Bad drops delivery errors on the floor.
+func Bad(f *Forwarder, b []byte) {
+	f.Publish(b) // want puberr
+	f.Store(b)   // want puberr
+	f.Ingest(b)  // want puberr
+}
+
+// Good handles, visibly discards, or annotates.
+func Good(f *Forwarder, b []byte) error {
+	if err := f.Publish(b); err != nil {
+		return err
+	}
+	_ = f.Store(b) // explicit discard is visible in review: allowed
+	f.Count(b)     // non-error result: allowed
+	//lint:allow puberr fixture: fire-and-forget fan-out, drops are counted upstream
+	f.Publish(b)
+	return nil
+}

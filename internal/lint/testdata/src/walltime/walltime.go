@@ -1,0 +1,40 @@
+// Package walltime is a known-bad fixture for the walltime check.
+//
+//lint:zone sim
+package walltime
+
+import (
+	"time"
+)
+
+// Bad reads the wall clock inside the (forced) sim zone.
+func Bad() time.Time {
+	time.Sleep(time.Millisecond) // want walltime
+	t := time.Now()              // want walltime
+	_ = time.Since(t)            // want walltime
+	_ = time.After(time.Second)  // want walltime
+	tm := time.NewTimer(0)       // want walltime
+	tm.Stop()
+	return t
+}
+
+// PureConstruction uses only clock-free time arithmetic: not flagged.
+func PureConstruction() time.Duration {
+	epoch := time.Unix(0, 0)
+	later := time.Date(2022, 9, 1, 0, 0, 0, 0, time.UTC)
+	return later.Sub(epoch) + 3*time.Second
+}
+
+// Suppressed demonstrates the //lint:allow escape hatch, both leading and
+// trailing.
+func Suppressed() time.Time {
+	//lint:allow walltime fixture demonstrates leading suppression
+	time.Sleep(time.Millisecond)
+	return time.Now() //lint:allow walltime fixture demonstrates trailing suppression
+}
+
+// NoReason shows that an allow directive without a reason is inert.
+func NoReason() time.Time {
+	//lint:allow walltime
+	return time.Now() // want walltime
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// bannedTimeFuncs are the wall-clock entry points of package time. Reading
+// the real clock inside the deterministic sim zone stamps events with
+// host time instead of virtual time — exactly the silent measurement
+// corruption the paper's absolute-timestamp pipeline exists to prevent.
+// Pure constructors and arithmetic (time.Unix, time.Duration, time.Date)
+// are fine: they compute, they don't observe.
+var bannedTimeFuncs = map[string]string{
+	"Now":       "thread the sim engine's virtual clock (Engine.Now) or take a now() func from the caller",
+	"Since":     "compute against the virtual clock: engine.Now() - start",
+	"Until":     "compute against the virtual clock",
+	"Sleep":     "use the engine's virtual sleep (Proc.Sleep / Engine.After)",
+	"After":     "use Engine.After to schedule in virtual time",
+	"AfterFunc": "use Engine.After to schedule in virtual time",
+	"Tick":      "use a virtual-time ticker driven by Engine.After",
+	"NewTicker": "use a virtual-time ticker driven by Engine.After",
+	"NewTimer":  "use Engine.After to schedule in virtual time",
+}
+
+var walltimeCheck = &Check{
+	Name:  "walltime",
+	Doc:   "no wall-clock reads (time.Now/Since/Sleep/timers) in the deterministic sim zone",
+	Zones: []Zone{ZoneSim},
+	Run:   runWalltime,
+}
+
+func runWalltime(p *Pass) {
+	timeFuncs := make([]string, 0, len(bannedTimeFuncs))
+	for name := range bannedTimeFuncs {
+		timeFuncs = append(timeFuncs, name)
+	}
+	sort.Strings(timeFuncs)
+	for _, file := range p.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := p.IsPkgCall(f, call, "time", timeFuncs...)
+			if !ok {
+				return true
+			}
+			p.Reportf(call.Pos(), bannedTimeFuncs[name],
+				"wall-clock call time.%s in deterministic sim zone", name)
+			return true
+		})
+	}
+}

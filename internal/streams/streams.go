@@ -11,6 +11,7 @@ package streams
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -179,6 +180,7 @@ func (b *Bus) Tags() []string {
 	for tag := range b.subs {
 		out = append(out, tag)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -1,0 +1,95 @@
+package darshanldms_test
+
+import (
+	"encoding/json"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// dlc-lint CLI smoke tests: the binary must exit 0 on the real tree and 1
+// on a known-bad fixture, because CI gates on exactly that contract.
+// Skipped under -short (they pay `go run` compile time plus a full
+// type-check of the module).
+
+func runLint(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/dlc-lint"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run ./cmd/dlc-lint %v: %v\n%s", args, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestCLILintCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	out, code := runLint(t, "./...")
+	if code != 0 {
+		t.Fatalf("dlc-lint ./... exit %d on the clean tree:\n%s", code, out)
+	}
+}
+
+func TestCLILintBadFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	out, code := runLint(t, "./internal/lint/testdata/src/maporder")
+	if code != 1 {
+		t.Fatalf("dlc-lint on bad fixture: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "maporder") {
+		t.Fatalf("expected maporder findings, got:\n%s", out)
+	}
+}
+
+func TestCLILintJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	out, code := runLint(t, "-json", "./internal/lint/testdata/src/puberr")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	// CombinedOutput appends `go run`'s own "exit status 1" stderr line
+	// after the JSON document, so decode just the first value.
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	for _, f := range findings {
+		if f.Check != "puberr" || f.Line == 0 || f.File == "" {
+			t.Fatalf("malformed finding %+v", f)
+		}
+	}
+}
+
+func TestCLILintList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	out, code := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d:\n%s", code, out)
+	}
+	for _, check := range []string{"walltime", "globalrand", "maporder", "lockheld", "puberr"} {
+		if !strings.Contains(out, check) {
+			t.Fatalf("-list missing %s:\n%s", check, out)
+		}
+	}
+}

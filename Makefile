@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test check fuzz-smoke bench bench-full experiments examples clean
+.PHONY: all build vet lint test check chaos-smoke fuzz-smoke bench bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -26,6 +26,13 @@ check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/dlc-lint ./...
 	$(GO) test -race ./...
+
+# Short seeded chaos soak under the race detector: the durable DSOS
+# configuration (WAL + R=2) must survive randomized fault schedules with
+# zero invariant violations, and the legacy configuration must demonstrably
+# lose acked data (CI runs this too).
+chaos-smoke:
+	$(GO) test -race -run ChaosSoak ./internal/harness
 
 # Short fuzz pass over every parser-hardening target (CI runs this too).
 FUZZTIME ?= 10s

@@ -6,7 +6,8 @@
 //	dlc-experiments [-seed N] [-reps N] [-scale F] [-out DIR] [-only LIST]
 //
 // -only selects a comma-separated subset of
-// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults}; the default runs everything.
+// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos}; the default runs
+// everything.
 // -scale shrinks the workloads (1.0 = the paper's full configuration;
 // runtimes and message counts scale with it).
 package main
@@ -28,13 +29,13 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 5)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper's full size)")
 	outDir := flag.String("out", "results", "output directory")
-	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults")
+	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos")
 	bins := flag.Int("bins", 24, "time bins for Figure 9")
 	flag.Parse()
 
 	want := map[string]bool{}
 	if *only == "all" {
-		for _, k := range []string{"2a", "2b", "2c", "ablation", "sweep", "5", "6", "7", "8", "9", "faults"} {
+		for _, k := range []string{"2a", "2b", "2c", "ablation", "sweep", "5", "6", "7", "8", "9", "faults", "chaos"} {
 			want[k] = true
 		}
 	} else {
@@ -128,6 +129,30 @@ func main() {
 			fatal(err)
 		}
 		emit("faults", harness.RenderFaultCampaign(camp))
+	}
+	if want["chaos"] {
+		// Durable configuration first (WAL + R=2: every invariant must
+		// hold), then the legacy configuration under the same schedules to
+		// show what the durability layer buys.
+		durable := harness.DefaultChaosSoakConfig(*seed)
+		durable.Scale = *scale
+		soak, err := harness.ChaosSoak(durable)
+		if err != nil {
+			fatal(err)
+		}
+		text := harness.RenderChaosSoak(soak)
+		legacy := durable
+		legacy.Replication = 1
+		legacy.WAL = false
+		legacySoak, err := harness.ChaosSoak(legacy)
+		if err != nil {
+			fatal(err)
+		}
+		text += "\n" + harness.RenderChaosSoak(legacySoak)
+		emit("chaos", text)
+		if soak.Violations != 0 {
+			fatal(fmt.Errorf("chaos soak: durable configuration violated %d invariants", soak.Violations))
+		}
 	}
 	if want["7"] || want["8"] || want["9"] {
 		camp, err := harness.MPIIOFigureCampaign(*seed, *reps, *scale)

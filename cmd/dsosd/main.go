@@ -1,11 +1,17 @@
 // dsosd runs a storage daemon: it receives connector stream messages over
-// the LDMS TCP transport, stores them into a SOS container with the darshan
-// schema and joint indices, and periodically snapshots the container to
-// disk (which dsosql can then query).
+// the LDMS TCP transport, stores them into one or more SOS container shards
+// with the darshan schema and joint indices, and periodically snapshots the
+// shards to disk (which dsosql can then query).
+//
+// With -wal each shard appends every acked insert to a per-shard
+// write-ahead log and replays it at startup (truncating any torn tail), so
+// a crashed dsosd restarts with its data intact. With -replication R each
+// insert is written to R successive shards.
 //
 // Usage:
 //
 //	dsosd -listen :4420 -container darshan_data -snapshot data.sos
+//	      [-daemons 4] [-replication 2] [-wal ./wal]
 //	      [-snapshot-every 30s] [-tag darshanConnector]
 package main
 
@@ -15,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
@@ -30,15 +37,48 @@ func main() {
 	listen := flag.String("listen", ":4420", "TCP listen address")
 	httpAddr := flag.String("http", "", "HTTP query API address (e.g. :4421; empty disables)")
 	container := flag.String("container", "darshan_data", "container name")
-	snapshot := flag.String("snapshot", "darshan_data.sos", "snapshot file path")
+	snapshot := flag.String("snapshot", "darshan_data.sos", "snapshot file path (shard i > 0 appends .i)")
 	every := flag.Duration("snapshot-every", 30*time.Second, "snapshot interval")
 	tag := flag.String("tag", connector.DefaultTag, "stream tag to store")
+	daemons := flag.Int("daemons", 1, "DSOS shard count in this process")
+	repl := flag.Int("replication", 1, "replication factor R: each insert is written to R successive shards")
+	walDir := flag.String("wal", "", "write-ahead log directory (empty disables); shards replay their logs at startup")
 	flag.Parse()
 
-	// A one-daemon DSOS cluster: the container this dsosd owns.
-	cluster := dsos.NewCluster(1, *container)
+	// The DSOS cluster this dsosd owns: one or more container shards.
+	cluster := dsos.NewCluster(*daemons, *container)
 	if err := dsos.SetupDarshan(cluster); err != nil {
 		fatal(err)
+	}
+	cluster.SetReplication(*repl)
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, d := range cluster.Daemons() {
+			// Replay what the previous incarnation logged (stopping at any
+			// torn tail), truncate the tail, then attach the log for new
+			// appends. Replay runs before EnableWAL so recovered inserts are
+			// not re-appended.
+			path := filepath.Join(*walDir, d.Name+".wal")
+			fw, err := sos.OpenFileWAL(path)
+			if err != nil {
+				fatal(err)
+			}
+			recs, consumed, err := sos.ReplayWAL(fw, func(schema string, obj sos.Object, origin uint64) error {
+				return d.InsertOrigin(schema, obj, origin)
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if err := fw.Reset(consumed); err != nil {
+				fatal(err)
+			}
+			if recs > 0 {
+				fmt.Fprintf(os.Stderr, "dsosd: %s recovered %d records from %s\n", d.Name, recs, path)
+			}
+			d.EnableWAL(fw)
+		}
 	}
 	client := dsos.Connect(cluster)
 
@@ -49,29 +89,39 @@ func main() {
 		fatal(err)
 	}
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "dsosd: container %q listening on %s\n", *container, srv.Addr())
+	fmt.Fprintf(os.Stderr, "dsosd: container %q (%d shards, R=%d, wal=%q) listening on %s\n",
+		*container, *daemons, cluster.Replication(), *walDir, srv.Addr())
 
-	snap := func() {
+	snapShard := func(path string, d *dsos.Daemon) {
 		f, err := os.CreateTemp(".", "dsosd-snap-*")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dsosd: snapshot:", err)
 			return
 		}
 		name := f.Name()
-		err = cluster.Daemons()[0].Container().Snapshot(f)
+		err = d.Container().Snapshot(f)
 		cerr := f.Close()
 		if err != nil || cerr != nil {
 			os.Remove(name)
 			fmt.Fprintln(os.Stderr, "dsosd: snapshot:", err, cerr)
 			return
 		}
-		if err := os.Rename(name, *snapshot); err != nil {
+		if err := os.Rename(name, path); err != nil {
 			os.Remove(name)
 			fmt.Fprintln(os.Stderr, "dsosd: snapshot:", err)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "dsosd: snapshot %s (%d objects, %d stored)\n",
-			*snapshot, client.Count(dsos.DarshanSchemaName), h.Received())
+	}
+	snap := func() {
+		for i, d := range cluster.Daemons() {
+			path := *snapshot
+			if i > 0 {
+				path = fmt.Sprintf("%s.%d", *snapshot, i)
+			}
+			snapShard(path, d)
+		}
+		fmt.Fprintf(os.Stderr, "dsosd: snapshot %s (%d shards, %d objects, %d stored)\n",
+			*snapshot, *daemons, client.Count(dsos.DarshanSchemaName), h.Received())
 	}
 
 	if *httpAddr != "" {

@@ -16,6 +16,7 @@ import (
 	"darshanldms/internal/darshan"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/streams"
 )
 
 // DefaultTag is the single stream tag the connector publishes on
@@ -63,6 +64,9 @@ type Connector struct {
 	modules  map[darshan.Module]bool
 	daemonOf func(producer string) *ldms.Daemon
 	stats    Stats
+	// seqs hands out per-producer sequence numbers, the message's
+	// delivery identity for downstream dedup (exactly-once ingest).
+	seqs map[string]uint64
 }
 
 // Attach registers the connector on a Darshan runtime. daemonOf routes a
@@ -80,7 +84,7 @@ func New(cfg Config, daemonOf func(producer string) *ldms.Daemon) *Connector {
 	if daemonOf == nil {
 		panic("connector: nil daemon router")
 	}
-	c := &Connector{cfg: cfg, daemonOf: daemonOf}
+	c := &Connector{cfg: cfg, daemonOf: daemonOf, seqs: map[string]uint64{}}
 	c.enc = cfg.Encoder
 	if c.enc == nil {
 		c.enc = jsonmsg.SprintfEncoder{}
@@ -119,6 +123,8 @@ func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
 		return
 	}
 	msg := jsonmsg.FromEvent(ev, c.cfg.Meta)
+	c.seqs[ev.Producer]++
+	msg.Seq = c.seqs[ev.Producer]
 	payload := c.enc.Encode(&msg)
 	if c.cfg.ChargeOverhead {
 		ctx.Charge(c.enc.SimCost())
@@ -130,7 +136,13 @@ func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
 	}
 	c.stats.Published++
 	c.stats.Bytes += uint64(len(payload))
-	if d.Bus().PublishJSON(c.tag, payload) == 0 {
+	// The (producer, seq) identity rides out-of-band on the stream message
+	// (the encoders keep the Table I payload bytes unchanged).
+	n := d.Bus().Publish(streams.Message{
+		Tag: c.tag, Type: streams.TypeJSON, Data: payload,
+		Producer: ev.Producer, Seq: msg.Seq,
+	})
+	if n == 0 {
 		c.stats.Dropped++
 	}
 }

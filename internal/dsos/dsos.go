@@ -5,16 +5,40 @@
 // perform parallel queries to all dsosd in a DSOS cluster; the results are
 // returned in parallel and sorted based on the index selected by the
 // user").
+//
+// Durability and availability are layered on top of the plain shards:
+//
+//   - A daemon can carry a write-ahead log (EnableWAL). Every acked insert
+//     is logged before the ack, and a crashed daemon (Crash) rebuilds its
+//     shard from the log on Restart — so a dsosd outage injected by
+//     internal/faults no longer loses the shard.
+//   - The cluster can replicate (SetReplication): each insert goes to R
+//     successive shards under a cluster-assigned origin id, and queries
+//     merge the healthy replicas, deduplicating by origin and re-inserting
+//     under-replicated objects into healthy daemons (read repair). A query
+//     is only Partial when every replica of some placement group is down.
+//
+// With the defaults (R=1, no WAL) every path below reduces to the original
+// sharded behavior.
 package dsos
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"darshanldms/internal/sos"
 )
+
+// ErrCrashed is the fault recorded by Daemon.Crash.
+var ErrCrashed = errors.New("dsosd crashed")
+
+// ErrPartial marks a query result that is merged from the healthy replicas
+// but may be missing objects whose every replica is unavailable. The
+// merged objects are still returned alongside it.
+var ErrPartial = errors.New("dsos: partial result (replicas unavailable)")
 
 // Daemon is one dsosd instance: a storage server holding a container shard.
 // It is safe for concurrent use.
@@ -23,35 +47,83 @@ type Daemon struct {
 	mu    sync.Mutex
 	cont  *sos.Container
 	fault error // non-nil: operations fail (injected dsosd outage)
+
+	wal       *sos.WAL // nil: no write-ahead logging
+	recovered uint64   // WAL records replayed across restarts
+
+	// Rebuild material captured at crash time: the daemon's schema/index
+	// configuration survives a crash (a real dsosd re-reads it at startup),
+	// only the in-memory object store is lost.
+	contName string
+	schemas  []*sos.Schema
+	idxSpecs []sos.IndexSpec
 }
 
 // NewDaemon creates a daemon around an empty container.
 func NewDaemon(name, containerName string) *Daemon {
-	return &Daemon{Name: name, cont: sos.NewContainer(containerName)}
+	return &Daemon{Name: name, cont: sos.NewContainer(containerName), contName: containerName}
 }
 
 // Container exposes the underlying container (callers must not mutate it
-// concurrently with daemon operations; the query path takes the lock).
+// concurrently with daemon operations; the query path takes the lock). It
+// is nil while the daemon is crashed.
 func (d *Daemon) Container() *sos.Container { return d.cont }
+
+// EnableWAL attaches a write-ahead log backed by st. Subsequent inserts
+// are logged before they are acked; Restart replays the log. The backing
+// must outlive crashes (it models the daemon's disk).
+func (d *Daemon) EnableWAL(st sos.WALStore) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wal = sos.NewWAL(st)
+}
+
+// WAL returns the attached write-ahead log (nil when disabled).
+func (d *Daemon) WAL() *sos.WAL {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wal
+}
+
+// Recovered returns the total number of WAL records replayed by this
+// daemon across all restarts.
+func (d *Daemon) Recovered() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recovered
+}
 
 // AddSchema registers a schema on this daemon.
 func (d *Daemon) AddSchema(s *sos.Schema) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.cont.AddSchema(s)
+	if d.cont == nil {
+		return fmt.Errorf("dsos: %s: %w", d.Name, ErrCrashed)
+	}
+	if err := d.cont.AddSchema(s); err != nil {
+		return err
+	}
+	d.schemas = append(d.schemas, s)
+	return nil
 }
 
 // AddIndex declares an index on this daemon.
 func (d *Daemon) AddIndex(spec sos.IndexSpec) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, err := d.cont.AddIndex(spec)
-	return err
+	if d.cont == nil {
+		return fmt.Errorf("dsos: %s: %w", d.Name, ErrCrashed)
+	}
+	if _, err := d.cont.AddIndex(spec); err != nil {
+		return err
+	}
+	d.idxSpecs = append(d.idxSpecs, spec)
+	return nil
 }
 
 // SetFault makes every subsequent Insert and query on this daemon fail
 // with err until healed with SetFault(nil) — fault injection for the
-// resilience campaigns (a crashed or wedged dsosd). With the sharded
+// resilience campaigns (a wedged but not crashed dsosd). With the sharded
 // client, a retried Insert rotates to the next (healthy) daemon, so
 // retry-with-timeout turns a dsosd outage into transparent failover.
 func (d *Daemon) SetFault(err error) {
@@ -60,38 +132,165 @@ func (d *Daemon) SetFault(err error) {
 	d.fault = err
 }
 
+// Crash models a dsosd process kill: the in-memory shard is discarded and
+// every operation fails until Restart. The write-ahead log (if any) is on
+// "disk" and survives. Intended as the crash hook for
+// faults.Controller.RegisterCrash.
+func (d *Daemon) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cont == nil {
+		return
+	}
+	// The schema/index configuration is re-read at startup; remember what
+	// was configured (covers daemons wrapped around restored containers
+	// that never went through AddSchema/AddIndex).
+	if len(d.schemas) == 0 {
+		for _, name := range d.cont.Schemas() {
+			d.schemas = append(d.schemas, d.cont.Schema(name))
+		}
+	}
+	if len(d.idxSpecs) == 0 {
+		for _, name := range d.cont.Indices() {
+			d.idxSpecs = append(d.idxSpecs, d.cont.Index(name).Spec())
+		}
+	}
+	if d.contName == "" {
+		d.contName = d.cont.Name
+	}
+	d.cont = nil
+	d.fault = ErrCrashed
+}
+
+// Restart models the dsosd coming back: a fresh container is configured
+// from the remembered schemas and indices, the write-ahead log is replayed
+// into it, and the daemon serves again. Without a WAL the shard restarts
+// empty (the pre-durability behavior).
+func (d *Daemon) Restart() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cont != nil && !errors.Is(d.fault, ErrCrashed) {
+		return nil // not crashed; nothing to do
+	}
+	cont := sos.NewContainer(d.contName)
+	for _, s := range d.schemas {
+		if err := cont.AddSchema(s); err != nil {
+			return fmt.Errorf("dsos: %s restart: %w", d.Name, err)
+		}
+	}
+	for _, spec := range d.idxSpecs {
+		if _, err := cont.AddIndex(spec); err != nil {
+			return fmt.Errorf("dsos: %s restart: %w", d.Name, err)
+		}
+	}
+	if d.wal != nil {
+		recs, _, err := sos.ReplayWAL(d.wal.Store(), func(schema string, obj sos.Object, origin uint64) error {
+			return cont.InsertOrigin(schema, obj, origin)
+		})
+		if err != nil {
+			return fmt.Errorf("dsos: %s restart: %w", d.Name, err)
+		}
+		d.recovered += uint64(recs)
+	}
+	d.cont = cont
+	d.fault = nil
+	return nil
+}
+
 // Insert stores one object.
 func (d *Daemon) Insert(schema string, obj sos.Object) error {
+	return d.InsertOrigin(schema, obj, 0)
+}
+
+// InsertOrigin stores one object stamped with a cluster-wide origin id
+// (0 = unreplicated). The object is applied to the shard first (so schema
+// validation never leaves a poisoned WAL record) and then logged; the
+// insert is only acked once both succeed. Crash cannot interleave because
+// it takes the same lock.
+func (d *Daemon) InsertOrigin(schema string, obj sos.Object, origin uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.fault != nil {
 		return fmt.Errorf("dsos: %s unavailable: %w", d.Name, d.fault)
 	}
-	return d.cont.Insert(schema, obj)
+	if d.cont == nil {
+		return fmt.Errorf("dsos: %s: %w", d.Name, ErrCrashed)
+	}
+	if err := d.cont.InsertOrigin(schema, obj, origin); err != nil {
+		return err
+	}
+	if d.wal != nil {
+		if err := d.wal.Append(schema, obj, origin); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// Count returns the number of objects under schema on this daemon.
-func (d *Daemon) Count(schema string) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.cont.Count(schema)
+// HasOrigin reports whether an object with the given origin id is present
+// under the index.
+func (d *Daemon) HasOrigin(index string, origin uint64) bool {
+	found := false
+	_ = d.IterOrigins(index, nil, func(_ sos.Object, o uint64) bool {
+		if o == origin {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
-// rangeQuery collects objects with index-prefix keys in [from, to).
-func (d *Daemon) rangeQuery(index string, from, to sos.Key) ([]sos.Object, error) {
+// IterOrigins walks the index yielding each object with its origin id,
+// under the daemon lock.
+func (d *Daemon) IterOrigins(index string, from sos.Key, yield func(sos.Object, uint64) bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.fault != nil {
-		return nil, fmt.Errorf("dsos: %s unavailable: %w", d.Name, d.fault)
+		return fmt.Errorf("dsos: %s unavailable: %w", d.Name, d.fault)
 	}
-	return d.cont.Range(index, from, to)
+	if d.cont == nil {
+		return fmt.Errorf("dsos: %s: %w", d.Name, ErrCrashed)
+	}
+	return d.cont.IterOrigins(index, from, yield)
+}
+
+// Count returns the number of objects under schema on this daemon
+// (0 while crashed).
+func (d *Daemon) Count(schema string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cont == nil {
+		return 0
+	}
+	return d.cont.Count(schema)
+}
+
+// rangeQuery collects objects (and their origin ids when asked) with
+// index-prefix keys in [from, to).
+func (d *Daemon) rangeQuery(index string, from, to sos.Key, withOrigins bool) ([]sos.Object, []uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fault != nil {
+		return nil, nil, fmt.Errorf("dsos: %s unavailable: %w", d.Name, d.fault)
+	}
+	if d.cont == nil {
+		return nil, nil, fmt.Errorf("dsos: %s: %w", d.Name, ErrCrashed)
+	}
+	if withOrigins {
+		return d.cont.RangeOrigins(index, from, to)
+	}
+	objs, err := d.cont.Range(index, from, to)
+	return objs, nil, err
 }
 
 // Cluster is a DSOS cluster: several dsosd daemons on storage servers.
 type Cluster struct {
 	daemons []*Daemon
 	mu      sync.Mutex
-	next    int // round-robin ingest cursor
+	next    int    // round-robin ingest cursor
+	repl    int    // replication factor (>=1)
+	origin  uint64 // cluster-wide logical insert id allocator
 }
 
 // NewCluster creates n daemons named dsosd0..dsosd(n-1), all hosting the
@@ -100,7 +299,7 @@ func NewCluster(n int, containerName string) *Cluster {
 	if n <= 0 {
 		panic("dsos: cluster needs at least one daemon")
 	}
-	c := &Cluster{}
+	c := &Cluster{repl: 1}
 	for i := 0; i < n; i++ {
 		c.daemons = append(c.daemons, NewDaemon(fmt.Sprintf("dsosd%d", i), containerName))
 	}
@@ -113,15 +312,54 @@ func NewClusterFromContainers(conts []*sos.Container) *Cluster {
 	if len(conts) == 0 {
 		panic("dsos: cluster needs at least one container")
 	}
-	c := &Cluster{}
+	c := &Cluster{repl: 1}
 	for i, cont := range conts {
-		c.daemons = append(c.daemons, &Daemon{Name: fmt.Sprintf("dsosd%d", i), cont: cont})
+		c.daemons = append(c.daemons, &Daemon{
+			Name: fmt.Sprintf("dsosd%d", i), cont: cont, contName: cont.Name,
+		})
 	}
 	return c
 }
 
 // Daemons returns the cluster members.
 func (c *Cluster) Daemons() []*Daemon { return c.daemons }
+
+// SetReplication sets the replication factor R: each insert is written to
+// R successive daemons. R is clamped to [1, len(daemons)]. R=1 (the
+// default) is the original unreplicated sharding.
+func (c *Cluster) SetReplication(r int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r < 1 {
+		r = 1
+	}
+	if r > len(c.daemons) {
+		r = len(c.daemons)
+	}
+	c.repl = r
+}
+
+// Replication returns the configured replication factor.
+func (c *Cluster) Replication() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.repl
+}
+
+// EnableWAL attaches a write-ahead log to every daemon. mk builds the
+// backing for a daemon name; nil uses a fresh in-memory MemWAL per daemon
+// (the simulation's virtual disk).
+func (c *Cluster) EnableWAL(mk func(daemonName string) sos.WALStore) {
+	for _, d := range c.daemons {
+		var st sos.WALStore
+		if mk != nil {
+			st = mk(d.Name)
+		} else {
+			st = sos.NewMemWAL()
+		}
+		d.EnableWAL(st)
+	}
+}
 
 // AddSchema registers the schema on every daemon.
 func (c *Cluster) AddSchema(s *sos.Schema) error {
@@ -154,17 +392,47 @@ func Connect(c *Cluster) *Client { return &Client{c: c} }
 // Cluster returns the cluster this client is connected to.
 func (cl *Client) Cluster() *Cluster { return cl.c }
 
-// Insert shards the object round-robin across the daemons (high ingest
-// rate: each daemon takes 1/n of the stream).
+// Insert shards the object across the daemons. With R=1 it is the
+// original round-robin (each daemon takes 1/n of the stream). With R>1
+// the object is stamped with a fresh origin id and written to R
+// successive daemons; the insert is acked (returns nil) when at least one
+// replica stored it durably, and fails only when every replica did.
 func (cl *Client) Insert(schema string, obj sos.Object) error {
-	cl.c.mu.Lock()
-	d := cl.c.daemons[cl.c.next%len(cl.c.daemons)]
-	cl.c.next++
-	cl.c.mu.Unlock()
-	return d.Insert(schema, obj)
+	c := cl.c
+	c.mu.Lock()
+	n := len(c.daemons)
+	start := c.next % n
+	c.next++
+	repl := c.repl
+	var origin uint64
+	if repl > 1 {
+		c.origin++
+		origin = c.origin
+	}
+	c.mu.Unlock()
+	if repl == 1 {
+		return c.daemons[start].Insert(schema, obj)
+	}
+	var firstErr error
+	acked := 0
+	for i := 0; i < repl; i++ {
+		d := c.daemons[(start+i)%n]
+		if err := d.InsertOrigin(schema, obj, origin); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		acked++
+	}
+	if acked == 0 {
+		return firstErr
+	}
+	return nil
 }
 
-// Count sums object counts across daemons.
+// Count sums object counts across daemons. With replication each object
+// is counted once per stored replica.
 func (cl *Client) Count(schema string) int {
 	total := 0
 	for _, d := range cl.c.daemons {
@@ -173,50 +441,182 @@ func (cl *Client) Count(schema string) int {
 	return total
 }
 
+// QueryInfo describes how degraded a query result is.
+type QueryInfo struct {
+	// Failed lists the daemons that could not serve the query.
+	Failed []string
+	// Partial is true when the result may be missing objects: with R=1 any
+	// failed daemon implies missing data; with R>1 only when R successive
+	// daemons (a whole placement group) are all down.
+	Partial bool
+	// Repaired counts objects re-inserted into healthy daemons by read
+	// repair (under-replicated origins found during the merge).
+	Repaired int
+}
+
 // Query runs the range query on every daemon in parallel and merges the
-// per-daemon (already index-ordered) results into one stream ordered by the
-// index key. from/to are prefixes of the index attributes; to is exclusive
-// and nil bounds are open.
+// per-daemon (already index-ordered) results into one stream ordered by
+// the index key. from/to are prefixes of the index attributes; to is
+// exclusive and nil bounds are open.
+//
+// Faulted daemons no longer fail the whole query: the merge covers the
+// healthy replicas and the error is ErrPartial (alongside the merged
+// objects) only when data may actually be missing.
 func (cl *Client) Query(index string, from, to sos.Key) ([]sos.Object, error) {
-	type result struct {
-		objs []sos.Object
-		err  error
-	}
-	results := make([]result, len(cl.c.daemons))
-	var wg sync.WaitGroup
-	for i, d := range cl.c.daemons {
-		wg.Add(1)
-		go func(i int, d *Daemon) {
-			defer wg.Done()
-			objs, err := d.rangeQuery(index, from, to)
-			results[i] = result{objs, err}
-		}(i, d)
-	}
-	wg.Wait()
-	lists := make([][]sos.Object, 0, len(results))
-	total := 0
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		lists = append(lists, r.objs)
-		total += len(r.objs)
-	}
-	// The daemons share the index definition; fetch key positions once.
-	keyAttrs, err := cl.keyExtractor(index)
+	objs, info, err := cl.QueryEx(index, from, to)
 	if err != nil {
 		return nil, err
 	}
-	return mergeOrdered(lists, keyAttrs, total), nil
+	if info.Partial {
+		return objs, fmt.Errorf("%w: daemons down: %v", ErrPartial, info.Failed)
+	}
+	return objs, nil
+}
+
+// QueryEx is Query with the degradation report. The returned error is
+// only non-nil for structural problems (unknown index); availability
+// problems are reported through QueryInfo.
+func (cl *Client) QueryEx(index string, from, to sos.Key) ([]sos.Object, QueryInfo, error) {
+	c := cl.c
+	c.mu.Lock()
+	repl := c.repl
+	c.mu.Unlock()
+	withOrigins := repl > 1
+
+	type result struct {
+		objs    []sos.Object
+		origins []uint64
+		err     error
+	}
+	results := make([]result, len(c.daemons))
+	var wg sync.WaitGroup
+	for i, d := range c.daemons {
+		wg.Add(1)
+		go func(i int, d *Daemon) {
+			defer wg.Done()
+			objs, origins, err := d.rangeQuery(index, from, to, withOrigins)
+			results[i] = result{objs, origins, err}
+		}(i, d)
+	}
+	wg.Wait()
+
+	var info QueryInfo
+	failed := make([]bool, len(results))
+	lists := make([][]sos.Object, len(results))
+	origins := make([][]uint64, len(results))
+	total := 0
+	for i, r := range results {
+		if r.err != nil {
+			failed[i] = true
+			info.Failed = append(info.Failed, c.daemons[i].Name)
+			continue
+		}
+		lists[i] = r.objs
+		origins[i] = r.origins
+		total += len(r.objs)
+	}
+	info.Partial = partial(failed, repl)
+
+	// The daemons share the index definition; fetch key positions once.
+	keyAttrs, err := cl.keyExtractor(index)
+	if err != nil {
+		return nil, info, err
+	}
+	merged, seen := mergeOrdered(lists, origins, keyAttrs, total)
+	if withOrigins {
+		info.Repaired = cl.readRepair(index, seen, failed, repl)
+	}
+	return merged, info, nil
+}
+
+// partial reports whether some placement group of R successive daemons is
+// entirely failed — the only configuration that can hide data from the
+// merge.
+func partial(failed []bool, repl int) bool {
+	n := len(failed)
+	if repl > n {
+		repl = n
+	}
+	for start := 0; start < n; start++ {
+		allDown := true
+		for i := 0; i < repl; i++ {
+			if !failed[(start+i)%n] {
+				allDown = false
+				break
+			}
+		}
+		if allDown {
+			return true
+		}
+	}
+	return false
+}
+
+// readRepair re-inserts under-replicated objects: every origin that the
+// merge saw on fewer than R healthy daemons is copied (in ascending daemon
+// order) to healthy daemons that lack it, until R replicas exist. Returns
+// the number of replica copies written.
+func (cl *Client) readRepair(index string, seen map[uint64]*originTrack, failed []bool, repl int) int {
+	c := cl.c
+	ix, sch := cl.indexSchema(index)
+	if ix == "" {
+		return 0
+	}
+	// Deterministic order: ascending origin id.
+	ids := make([]uint64, 0, len(seen))
+	for o, tr := range seen {
+		if o != 0 && tr.copies < repl {
+			ids = append(ids, o)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	repaired := 0
+	for _, o := range ids {
+		tr := seen[o]
+		need := repl - tr.copies
+		for i := 0; i < len(c.daemons) && need > 0; i++ {
+			if failed[i] || tr.on[i] {
+				continue
+			}
+			if err := c.daemons[i].InsertOrigin(sch, tr.obj, o); err != nil {
+				continue
+			}
+			repaired++
+			need--
+		}
+	}
+	return repaired
+}
+
+// indexSchema resolves the schema name an index is defined over, via the
+// first live daemon.
+func (cl *Client) indexSchema(index string) (name, schema string) {
+	for _, d := range cl.c.daemons {
+		d.mu.Lock()
+		if d.cont != nil {
+			if ix := d.cont.Index(index); ix != nil {
+				spec := ix.Spec()
+				d.mu.Unlock()
+				return spec.Name, spec.Schema
+			}
+		}
+		d.mu.Unlock()
+	}
+	return "", ""
 }
 
 // DeleteJob removes every stored event of the given job from all daemons
 // (retention management) and compacts. It returns the number of objects
-// removed.
+// removed. Crashed daemons are skipped (their shards rebuild from the WAL,
+// which retains deleted jobs — retention re-runs after recovery).
 func (cl *Client) DeleteJob(jobID int64) (int, error) {
 	total := 0
 	for _, d := range cl.c.daemons {
 		d.mu.Lock()
+		if d.cont == nil {
+			d.mu.Unlock()
+			continue
+		}
 		n, err := d.cont.DeleteWhere("job_rank_time", sos.Key{jobID}, sos.Key{jobID + 1})
 		if err == nil {
 			d.cont.Compact(DarshanSchemaName)
@@ -232,7 +632,8 @@ func (cl *Client) DeleteJob(jobID int64) (int, error) {
 
 // DistinctJobs returns the sorted distinct job ids present in the darshan
 // schema, discovered by index hopping (seek to job+1 after each hit) so the
-// cost is O(jobs x log n) rather than a full scan.
+// cost is O(jobs x log n) rather than a full scan. Crashed daemons are
+// skipped.
 func (cl *Client) DistinctJobs() ([]int64, error) {
 	seen := map[int64]bool{}
 	for _, d := range cl.c.daemons {
@@ -241,6 +642,10 @@ func (cl *Client) DistinctJobs() ([]int64, error) {
 			var job int64
 			found := false
 			d.mu.Lock()
+			if d.cont == nil {
+				d.mu.Unlock()
+				break
+			}
 			err := d.cont.Iter("job_rank_time", from, func(o sos.Object) bool {
 				job = o[ColJobID].(int64)
 				found = true
@@ -265,33 +670,61 @@ func (cl *Client) DistinctJobs() ([]int64, error) {
 	return out, nil
 }
 
-// keyExtractor returns the attribute positions of the index key.
+// keyExtractor returns the attribute positions of the index key, resolved
+// via the first live daemon.
 func (cl *Client) keyExtractor(index string) ([]int, error) {
-	d := cl.c.daemons[0]
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ix := d.cont.Index(index)
-	if ix == nil {
-		return nil, fmt.Errorf("dsos: unknown index %q", index)
+	for _, d := range cl.c.daemons {
+		d.mu.Lock()
+		if d.cont == nil {
+			d.mu.Unlock()
+			continue
+		}
+		ix := d.cont.Index(index)
+		if ix == nil {
+			d.mu.Unlock()
+			return nil, fmt.Errorf("dsos: unknown index %q", index)
+		}
+		spec := ix.Spec()
+		sch := d.cont.Schema(spec.Schema)
+		idxs := make([]int, len(spec.Attrs))
+		for i, a := range spec.Attrs {
+			idxs[i] = sch.AttrIndex(a)
+		}
+		d.mu.Unlock()
+		return idxs, nil
 	}
-	spec := ix.Spec()
-	sch := d.cont.Schema(spec.Schema)
-	idxs := make([]int, len(spec.Attrs))
-	for i, a := range spec.Attrs {
-		idxs[i] = sch.AttrIndex(a)
-	}
-	return idxs, nil
+	return nil, fmt.Errorf("dsos: no live daemon to resolve index %q", index)
+}
+
+// originTrack records where the merge saw one origin.
+type originTrack struct {
+	obj    sos.Object
+	on     []bool // per-daemon presence
+	copies int
 }
 
 // mergeOrdered k-way merges index-ordered object lists by their key
-// attributes using a loser-free binary heap: O(total log k).
-func mergeOrdered(lists [][]sos.Object, keyAttrs []int, total int) []sos.Object {
+// attributes using a binary heap: O(total log k). When origin lists are
+// provided, replicas of the same origin are emitted once and their
+// placement is tracked for read repair.
+func mergeOrdered(lists [][]sos.Object, origins [][]uint64, keyAttrs []int, total int) ([]sos.Object, map[uint64]*originTrack) {
 	keyOf := func(o sos.Object) sos.Key {
 		k := make(sos.Key, 0, len(keyAttrs))
 		for _, a := range keyAttrs {
 			k = append(k, o[a])
 		}
 		return k
+	}
+	withOrigins := false
+	for _, og := range origins {
+		if og != nil {
+			withOrigins = true
+			break
+		}
+	}
+	var seen map[uint64]*originTrack
+	if withOrigins {
+		seen = make(map[uint64]*originTrack, total)
 	}
 	h := &mergeHeap{}
 	for i, lst := range lists {
@@ -305,7 +738,31 @@ func mergeOrdered(lists [][]sos.Object, keyAttrs []int, total int) []sos.Object 
 	for h.Len() > 0 {
 		it := h.items[0]
 		lst := lists[it.list]
-		out = append(out, lst[cursors[it.list]])
+		pos := cursors[it.list]
+		obj := lst[pos]
+		emit := true
+		if withOrigins {
+			var o uint64
+			if og := origins[it.list]; og != nil {
+				o = og[pos]
+			}
+			if o != 0 {
+				tr := seen[o]
+				if tr == nil {
+					tr = &originTrack{obj: obj, on: make([]bool, len(lists))}
+					seen[o] = tr
+				} else {
+					emit = false
+				}
+				if !tr.on[it.list] {
+					tr.on[it.list] = true
+					tr.copies++
+				}
+			}
+		}
+		if emit {
+			out = append(out, obj)
+		}
 		cursors[it.list]++
 		if cursors[it.list] < len(lst) {
 			h.items[0] = mergeItem{key: keyOf(lst[cursors[it.list]]), list: it.list, seq: it.list}
@@ -314,7 +771,7 @@ func mergeOrdered(lists [][]sos.Object, keyAttrs []int, total int) []sos.Object 
 			heap.Pop(h)
 		}
 	}
-	return out
+	return out, seen
 }
 
 type mergeItem struct {

@@ -1,0 +1,317 @@
+package dsos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"darshanldms/internal/sim"
+)
+
+func TestReplicatedInsert(t *testing.T) {
+	c, cl := newDarshanCluster(t, 4)
+	c.SetReplication(2)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i%8), float64(i), "write")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every object is stored twice...
+	if got := cl.Count(DarshanSchemaName); got != 2*n {
+		t.Fatalf("replica count = %d, want %d", got, 2*n)
+	}
+	// ...but queried once: the merge dedups by origin.
+	objs, err := cl.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != n {
+		t.Fatalf("query returned %d, want %d deduped", len(objs), n)
+	}
+	// Replicas land on successive daemons: 4 daemons x R=2 x 100 inserts
+	// round-robin means each daemon holds 50 replicas.
+	for _, d := range c.Daemons() {
+		if got := d.Count(DarshanSchemaName); got != 50 {
+			t.Fatalf("daemon %s has %d replicas, want 50", d.Name, got)
+		}
+	}
+}
+
+// Satellite regression: a faulted daemon must degrade the query, not fail
+// it. With R=1 the result is partial (data genuinely missing); with R=2
+// the surviving replicas cover everything and the query is clean.
+func TestQueryDegradesOnFaultedDaemon(t *testing.T) {
+	c, cl := newDarshanCluster(t, 3)
+	const n = 90
+	for i := 0; i < n; i++ {
+		if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i%8), float64(i), "write")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Daemons()[1].SetFault(errors.New("wedged"))
+	objs, err := cl.Query("job_rank_time", nil, nil)
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial", err)
+	}
+	if len(objs) != n-30 {
+		t.Fatalf("partial result has %d objects, want %d from healthy daemons", len(objs), n-30)
+	}
+	objs, info, err := cl.QueryEx("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Partial || len(info.Failed) != 1 || info.Failed[0] != "dsosd1" {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(objs) != n-30 {
+		t.Fatalf("QueryEx returned %d objects", len(objs))
+	}
+
+	// Heal, replicate, re-ingest: now one faulted daemon hides nothing.
+	c2, cl2 := newDarshanCluster(t, 3)
+	c2.SetReplication(2)
+	for i := 0; i < n; i++ {
+		if err := cl2.Insert(DarshanSchemaName, sampleObject(1, int64(i%8), float64(i), "write")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c2.Daemons()[1].SetFault(errors.New("wedged"))
+	objs, err = cl2.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatalf("replicated query with one fault: %v", err)
+	}
+	if len(objs) != n {
+		t.Fatalf("replicated query returned %d, want %d", len(objs), n)
+	}
+}
+
+// With R=2, two adjacent daemons down can hide a placement group: the
+// query must say Partial. Two non-adjacent daemons (of 4) cannot.
+func TestPartialNeedsWholePlacementGroupDown(t *testing.T) {
+	c, cl := newDarshanCluster(t, 4)
+	c.SetReplication(2)
+	for i := 0; i < 40; i++ {
+		if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i%8), float64(i), "write")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Daemons()[0].SetFault(errors.New("down"))
+	c.Daemons()[2].SetFault(errors.New("down"))
+	_, info, err := cl.QueryEx("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Partial {
+		t.Fatalf("non-adjacent failures reported Partial: %+v", info)
+	}
+	c.Daemons()[2].SetFault(nil)
+	c.Daemons()[1].SetFault(errors.New("down"))
+	_, info, err = cl.QueryEx("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Partial {
+		t.Fatalf("adjacent failures not reported Partial: %+v", info)
+	}
+}
+
+func TestCrashRestartWithWAL(t *testing.T) {
+	c, cl := newDarshanCluster(t, 3)
+	c.EnableWAL(nil)
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i%8), float64(i), "write")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := c.Daemons()[1]
+	before := victim.Count(DarshanSchemaName)
+	victim.Crash()
+	if victim.Count(DarshanSchemaName) != 0 {
+		t.Fatal("crashed daemon still counts objects")
+	}
+	if err := victim.Insert(DarshanSchemaName, sampleObject(9, 0, 1, "write")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("insert on crashed daemon: %v", err)
+	}
+	if _, err := cl.Query("job_rank_time", nil, nil); !errors.Is(err, ErrPartial) {
+		t.Fatalf("query with crashed shard: %v", err)
+	}
+	if err := victim.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := victim.Count(DarshanSchemaName); got != before {
+		t.Fatalf("recovered %d objects, want %d", got, before)
+	}
+	if victim.Recovered() != uint64(before) {
+		t.Fatalf("Recovered() = %d, want %d", victim.Recovered(), before)
+	}
+	objs, err := cl.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != n {
+		t.Fatalf("post-recovery query returned %d, want %d", len(objs), n)
+	}
+}
+
+// The WAL golden test from the issue: kill a daemon mid-batch, restart,
+// and the store must hold exactly the acked inserts.
+func TestWALCrashMidBatchGolden(t *testing.T) {
+	c, cl := newDarshanCluster(t, 2)
+	c.EnableWAL(nil)
+	victim := c.Daemons()[0]
+	acked := 0
+	for i := 0; i < 100; i++ {
+		if i == 57 {
+			victim.Crash()
+		}
+		if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i%4), float64(i), "write")); err == nil {
+			acked++
+		}
+	}
+	if err := victim.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Count(DarshanSchemaName); got != acked {
+		t.Fatalf("after crash+restart: stored %d, acked %d", got, acked)
+	}
+}
+
+// Daemon crash/restart scheduled in virtual time (the shape the fault
+// controller's RegisterCrash hooks use — the full controller wiring is
+// covered by the harness chaos soak): the restarted daemon comes back
+// with its data.
+func TestScheduledCrashRecovery(t *testing.T) {
+	c, cl := newDarshanCluster(t, 2)
+	c.EnableWAL(nil)
+	e := sim.NewEngine()
+	defer e.Close()
+	victim := c.Daemons()[0]
+	e.At(2*time.Second, victim.Crash)
+	e.At(5*time.Second, func() {
+		if err := victim.Restart(); err != nil {
+			t.Errorf("restart: %v", err)
+		}
+	})
+	inserted := 0
+	e.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			// Writes during the outage fail over to the healthy daemon or
+			// fail; count acks only.
+			if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i), float64(i), "write")); err == nil {
+				inserted++
+			}
+			p.Sleep(time.Second)
+		}
+	})
+	if err := e.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Count(DarshanSchemaName); got != inserted {
+		t.Fatalf("stored %d, acked %d", got, inserted)
+	}
+	if victim.Recovered() == 0 {
+		t.Fatal("victim recovered nothing from its WAL")
+	}
+}
+
+// Read repair: when a replica restarts empty (no WAL), a query copies the
+// surviving replicas back so the cluster converges to R copies.
+func TestReadRepair(t *testing.T) {
+	c, cl := newDarshanCluster(t, 3)
+	c.SetReplication(2)
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i%4), float64(i), "write")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := c.Daemons()[1]
+	victim.Crash()
+	if err := victim.Restart(); err != nil { // no WAL: comes back empty
+		t.Fatal(err)
+	}
+	if victim.Count(DarshanSchemaName) != 0 {
+		t.Fatal("no-WAL restart should be empty")
+	}
+	objs, info, err := cl.QueryEx("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != n {
+		t.Fatalf("query after restart returned %d, want %d", len(objs), n)
+	}
+	if info.Repaired == 0 {
+		t.Fatal("expected read repair to run")
+	}
+	// Convergence: every object is back to 2 replicas.
+	if got := cl.Count(DarshanSchemaName); got != 2*n {
+		t.Fatalf("after repair: %d replicas, want %d", got, 2*n)
+	}
+	_, info, err = cl.QueryEx("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Repaired != 0 {
+		t.Fatalf("second query repaired %d more", info.Repaired)
+	}
+}
+
+// Satellite: concurrent clients hammering Insert must be race-free (run
+// under -race) and lose nothing.
+func TestConcurrentClientsNoRace(t *testing.T) {
+	c, _ := newDarshanCluster(t, 4)
+	c.SetReplication(2)
+	c.EnableWAL(nil)
+	const clients, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := Connect(c)
+			for i := 0; i < each; i++ {
+				if err := cl.Insert(DarshanSchemaName, sampleObject(int64(w), int64(i%16), float64(i), "write")); err != nil {
+					t.Errorf("insert: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cl := Connect(c)
+	if got := cl.Count(DarshanSchemaName); got != 2*clients*each {
+		t.Fatalf("replica count %d, want %d", got, 2*clients*each)
+	}
+	objs, err := cl.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != clients*each {
+		t.Fatalf("deduped query %d, want %d", len(objs), clients*each)
+	}
+}
+
+// WAL-off crash keeps the pre-durability lossy behavior (documented, not
+// accidental): restart is empty and the query is clean again afterwards.
+func TestCrashWithoutWALLosesShard(t *testing.T) {
+	c, cl := newDarshanCluster(t, 2)
+	for i := 0; i < 20; i++ {
+		if err := cl.Insert(DarshanSchemaName, sampleObject(1, int64(i%4), float64(i), "write")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := c.Daemons()[0]
+	victim.Crash()
+	if err := victim.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := cl.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 10 {
+		t.Fatalf("surviving objects %d, want the other shard's 10", len(objs))
+	}
+}

@@ -44,6 +44,12 @@ const (
 	// store/ingest outages (e.g. dsos.Daemon.SetFault) and any other
 	// on/off fault a campaign wires up.
 	StoreFault
+	// ReplayOutage takes a link down like LinkPartition, but models an
+	// at-least-once transport (ldms.ReconnectingForwarder): messages spool
+	// during the outage and the heal re-delivers them plus the pre-outage
+	// tail — duplicates for a downstream DedupStore to absorb. The link
+	// needs SetReplayTail for the duplicate part.
+	ReplayOutage
 )
 
 func (k Kind) String() string {
@@ -58,6 +64,8 @@ func (k Kind) String() string {
 		return "slow-subscriber"
 	case StoreFault:
 		return "store-fault"
+	case ReplayOutage:
+		return "replay-outage"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -143,7 +151,7 @@ func (c *Controller) Apply(p Profile) error {
 	for i, ev := range p.Events {
 		ev := ev
 		switch ev.Kind {
-		case LinkPartition, LatencySpike, SlowSubscriber:
+		case LinkPartition, LatencySpike, SlowSubscriber, ReplayOutage:
 			l, ok := c.links[ev.Target]
 			if !ok {
 				return fmt.Errorf("faults: profile %q event %d: unknown link %q", p.Name, i, ev.Target)
@@ -219,6 +227,17 @@ func (c *Controller) scheduleLink(ev Event, l *Link) {
 			c.e.At(ev.At+ev.Duration, func() {
 				rec := l.Unstall()
 				c.note("release subscriber on %s (%d recovered)", ev.Target, rec)
+			})
+		}
+	case ReplayOutage:
+		c.e.At(ev.At, func() {
+			c.note("replay outage on %s (for %v)", ev.Target, ev.Duration)
+			l.CutReplay()
+		})
+		if ev.Duration > 0 {
+			c.e.At(ev.At+ev.Duration, func() {
+				dup, rec := l.RestoreReplay()
+				c.note("replay heal on %s (%d duplicated, %d recovered)", ev.Target, dup, rec)
 			})
 		}
 	}

@@ -11,10 +11,11 @@ import (
 
 // LinkStats counts a fault-aware link's activity.
 type LinkStats struct {
-	Forwarded uint64 // messages delivered (or scheduled for delivery)
-	Dropped   uint64 // messages lost to partitions or stall overflow
-	Recovered uint64 // messages held during a stall and delivered after
-	Queued    int    // messages currently in the stall buffer
+	Forwarded  uint64 // messages delivered (or scheduled for delivery)
+	Dropped    uint64 // messages lost to partitions or stall overflow
+	Recovered  uint64 // messages held during a stall/replay outage, delivered after
+	Duplicated uint64 // tail messages re-delivered by a replay-outage heal
+	Queued     int    // messages currently in the stall buffer
 }
 
 // Link is one fault-injectable hop of the simulated LDMS topology — a
@@ -35,6 +36,16 @@ type Link struct {
 	stalled  bool
 	queue    []streams.Message
 	maxQueue int
+
+	// Replay-outage state: a link modeling an at-least-once transport
+	// (ldms.ReconnectingForwarder) spools during the outage instead of
+	// dropping, and on heal re-delivers the recent pre-outage tail — the
+	// frames whose fate the sender could not know — before the spool.
+	// ringCap is set by SetReplayTail; spooling marks a CutReplay outage.
+	ringCap  int
+	ring     []streams.Message
+	spooling bool
+	spool    []streams.Message
 
 	st LinkStats
 }
@@ -61,6 +72,12 @@ func (l *Link) SetStallQueue(n int) {
 
 func (l *Link) handle(m streams.Message) {
 	switch {
+	case l.down && l.spooling:
+		if len(l.spool) >= l.maxQueue {
+			l.st.Dropped++
+			return
+		}
+		l.spool = append(l.spool, m)
 	case l.down:
 		l.st.Dropped++
 	case l.stalled:
@@ -76,6 +93,12 @@ func (l *Link) handle(m streams.Message) {
 
 func (l *Link) deliver(m streams.Message) {
 	l.st.Forwarded++
+	if l.ringCap > 0 {
+		l.ring = append(l.ring, m)
+		if len(l.ring) > l.ringCap {
+			l.ring = l.ring[1:]
+		}
+	}
 	if d := l.latency + l.extra; d > 0 {
 		l.e.After(d, func() { l.to.Bus().Publish(m) })
 		return
@@ -88,6 +111,49 @@ func (l *Link) Cut() { l.down = true }
 
 // Restore heals a partition.
 func (l *Link) Restore() { l.down = false }
+
+// SetReplayTail makes the link model an at-least-once transport: the last
+// n delivered messages are retained, and a CutReplay/RestoreReplay outage
+// re-delivers them on heal (duplicates for a downstream dedup to absorb).
+// n <= 0 turns the modeling off.
+func (l *Link) SetReplayTail(n int) {
+	if n <= 0 {
+		l.ringCap = 0
+		l.ring = nil
+		return
+	}
+	l.ringCap = n
+}
+
+// CutReplay takes the link down like Cut, but as an at-least-once
+// transport outage: messages spool (bounded by the stall queue limit)
+// instead of dropping, awaiting the heal.
+func (l *Link) CutReplay() {
+	l.down = true
+	l.spooling = true
+}
+
+// RestoreReplay heals a CutReplay outage: the pre-outage tail is
+// re-delivered first (counted Duplicated — the sender cannot know those
+// frames arrived), then the spooled messages (counted Recovered). Returns
+// the two counts.
+func (l *Link) RestoreReplay() (dup, recovered int) {
+	l.down = false
+	l.spooling = false
+	tail := l.ring
+	l.ring = nil // deliver() below re-fills the ring as it re-sends
+	for _, m := range tail {
+		l.st.Duplicated++
+		l.deliver(m)
+	}
+	spool := l.spool
+	l.spool = nil
+	for _, m := range spool {
+		l.st.Recovered++
+		l.deliver(m)
+	}
+	return len(tail), len(spool)
+}
 
 // Down reports whether the link is currently partitioned.
 func (l *Link) Down() bool { return l.down }

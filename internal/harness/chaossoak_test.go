@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"darshanldms/internal/simfs"
+)
+
+// shortSoakConfig is the CI-sized soak: small workload, fewer schedules,
+// same invariants. Used by `make chaos-smoke` under the race detector.
+func shortSoakConfig(seed uint64, replication int, wal bool) ChaosSoakConfig {
+	return ChaosSoakConfig{
+		Seed: seed, Schedules: 5, EventsPerSchedule: 5,
+		Scale: 0.01, ParticlesPerRank: 5_000_000, FSKind: simfs.Lustre,
+		Daemons: 4, Replication: replication, WAL: wal,
+	}
+}
+
+// The durable configuration (WAL + R=2) must survive every schedule with
+// zero invariant violations: nothing acked is lost, nothing stored twice,
+// replicas converge, lossless runs match the oracle.
+func TestChaosSoakDurable(t *testing.T) {
+	res, err := ChaosSoak(shortSoakConfig(2022, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("durable soak violated invariants:\n%s", RenderChaosSoak(res))
+	}
+	if len(res.Oracle.Violations) != 0 {
+		t.Fatalf("oracle run self-check failed: %v", res.Oracle.Violations)
+	}
+	if res.Oracle.Merged == 0 || res.Oracle.Acked == 0 {
+		t.Fatalf("oracle stored nothing: %+v", res.Oracle)
+	}
+	// The soak is only meaningful if the chaos actually bit: across the
+	// schedules we need daemon crashes with WAL recovery, absorbed
+	// duplicates, and read repair to all have fired.
+	var walrec, dedup, dropped uint64
+	repaired := 0
+	crashes := 0
+	for _, r := range res.Runs {
+		walrec += r.WALRecovered
+		dedup += r.Deduped
+		dropped += r.LinkDropped
+		repaired += r.Repaired
+		for _, rec := range r.Log {
+			if strings.Contains(rec.Msg, "crash daemon dsosd") {
+				crashes++
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no dsosd crash was scheduled across the soak; schedules too tame")
+	}
+	if walrec == 0 {
+		t.Fatal("no WAL records were replayed; crash recovery never exercised")
+	}
+	if dedup == 0 {
+		t.Fatal("no duplicates were absorbed; replay outages never exercised")
+	}
+	if repaired == 0 && dropped == 0 {
+		t.Fatal("no read repair and no drops; fault schedules had no effect")
+	}
+}
+
+// The legacy configuration (R=1, no WAL) must demonstrably lose acked data
+// under the same schedules — that is the gap the durability layer closes.
+func TestChaosSoakLegacyLosesData(t *testing.T) {
+	res, err := ChaosSoak(shortSoakConfig(2022, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations == 0 {
+		t.Fatal("legacy (R=1, no WAL) soak reported no violations; the harness cannot detect loss")
+	}
+	lost := false
+	for _, r := range res.Runs {
+		for _, v := range r.Violations {
+			if strings.Contains(v, "acked-but-lost") {
+				lost = true
+			}
+		}
+	}
+	if !lost {
+		t.Fatalf("legacy soak never lost acked data:\n%s", RenderChaosSoak(res))
+	}
+}

@@ -30,7 +30,9 @@ type FaultRunResult struct {
 	Published    uint64          // connector messages published on node buses
 	Delivered    uint64          // messages that reached the final store
 	Dropped      uint64          // lost to partitions, stall overflow or store failure
-	Recovered    uint64          // held during a stall and delivered after it
+	Recovered    uint64          // held during a stall/outage and delivered after it
+	Duplicated   uint64          // tail frames re-delivered by replay-outage heals
+	Deduped      uint64          // replayed deliveries suppressed before the store
 	StoreRetries uint64          // store attempts retried by the ingest retry layer
 	StoreDrops   uint64          // messages lost at the store after retries
 	Log          []faults.Record // what fired, and when
@@ -84,6 +86,7 @@ func runUnderFaults(cfg faultRunConfig, profile faults.Profile) (*FaultRunResult
 	head := ldms.NewAggregator("agg-head", m.Head().Name)
 	remote := ldms.NewAggregator("agg-remote", "shirley")
 	uplink := faults.NewLink(e, head.Daemon, remote.Daemon, connector.DefaultTag, 300*time.Microsecond)
+	uplink.SetReplayTail(chaosReplayTail)
 	ctl.RegisterLink("uplink", uplink)
 	allLinks := []*faults.Link{uplink}
 	nodeDaemons := map[string]*ldms.Daemon{}
@@ -101,11 +104,13 @@ func runUnderFaults(cfg faultRunConfig, profile faults.Profile) (*FaultRunResult
 	ctl.RegisterCrash("head", crash, restart)
 
 	// Store path: counting store behind flaky injection behind the opt-in
-	// retry layer, so StoreFault windows exercise retry-with-timeout.
+	// retry layer (so StoreFault windows exercise retry-with-timeout),
+	// behind the dedup layer (so replay-outage heals don't double count).
 	count := &ldms.CountStore{}
 	flaky := faults.NewFlakyStore(count, root.Derive("storefault"), storeFailProb)
 	retry := ldms.NewRetryStore(flaky, ldms.RetryConfig{Attempts: 4})
-	storeHandle := remote.AttachStore(connector.DefaultTag, retry)
+	dedup := ldms.NewDedupStore(retry)
+	storeHandle := remote.AttachStore(connector.DefaultTag, dedup)
 	ctl.RegisterToggle("store", flaky.SetActive)
 
 	conn := connector.Attach(rt, connector.Config{
@@ -139,7 +144,9 @@ func runUnderFaults(cfg faultRunConfig, profile faults.Profile) (*FaultRunResult
 		st := l.Stats()
 		res.Dropped += st.Dropped
 		res.Recovered += st.Recovered
+		res.Duplicated += st.Duplicated
 	}
+	res.Deduped = dedup.Duplicates()
 	retries, failures, _ := retry.Stats()
 	res.StoreRetries = retries
 	res.StoreDrops = failures
@@ -151,7 +158,9 @@ func runUnderFaults(cfg faultRunConfig, profile faults.Profile) (*FaultRunResult
 // DefaultFaultProfiles builds the standard campaign scenarios scaled to the
 // measured fault-free runtime: a head-aggregator crash with restart, an
 // uplink partition, a slow subscriber stall on the uplink, a latency spike,
-// and a flaky-store window behind the retry layer.
+// a flaky-store window behind the retry layer, and a replay-outage on the
+// uplink (an at-least-once reconnect whose re-sent tail the dedup layer
+// must absorb).
 func DefaultFaultProfiles(runtime time.Duration) []faults.Profile {
 	frac := func(f float64) time.Duration {
 		return time.Duration(float64(runtime) * f)
@@ -171,6 +180,9 @@ func DefaultFaultProfiles(runtime time.Duration) []faults.Profile {
 		}},
 		{Name: "flaky-store", Events: []faults.Event{
 			{Kind: faults.StoreFault, Target: "store", At: frac(0.20), Duration: frac(0.50)},
+		}},
+		{Name: "replay-outage", Events: []faults.Event{
+			{Kind: faults.ReplayOutage, Target: "uplink", At: frac(0.30), Duration: frac(0.25)},
 		}},
 	}
 }
@@ -205,15 +217,15 @@ func FaultCampaign(seed uint64, scale float64, particlesPerRank int64, fsKind si
 func RenderFaultCampaign(c *FaultCampaignResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fault campaign: %s (seed %d, baseline runtime %.3fs)\n", c.Label, c.Seed, c.Baseline.Runtime.Seconds())
-	fmt.Fprintf(&b, "%-16s %10s %10s %9s %10s %8s %7s\n",
-		"profile", "published", "delivered", "dropped", "recovered", "retries", "loss%")
+	fmt.Fprintf(&b, "%-16s %10s %10s %9s %10s %11s %8s %8s %7s\n",
+		"profile", "published", "delivered", "dropped", "recovered", "duplicated", "deduped", "retries", "loss%")
 	row := func(r FaultRunResult) {
 		loss := 0.0
 		if r.Published > 0 {
 			loss = 100 * float64(r.Dropped) / float64(r.Published)
 		}
-		fmt.Fprintf(&b, "%-16s %10d %10d %9d %10d %8d %6.2f%%\n",
-			r.Profile, r.Published, r.Delivered, r.Dropped, r.Recovered, r.StoreRetries, loss)
+		fmt.Fprintf(&b, "%-16s %10d %10d %9d %10d %11d %8d %8d %6.2f%%\n",
+			r.Profile, r.Published, r.Delivered, r.Dropped, r.Recovered, r.Duplicated, r.Deduped, r.StoreRetries, loss)
 	}
 	row(c.Baseline)
 	for _, r := range c.Runs {

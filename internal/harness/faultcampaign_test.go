@@ -60,6 +60,25 @@ func TestFaultCampaign(t *testing.T) {
 			t.Fatalf("store drops %d >= retries %d; retry layer ineffective", r.StoreDrops, r.StoreRetries)
 		}
 	}
+	if r, ok := byName["replay-outage"]; ok {
+		if r.Duplicated == 0 {
+			t.Fatal("replay outage re-delivered no tail frames")
+		}
+		if r.Deduped != r.Duplicated {
+			t.Fatalf("dedup absorbed %d of %d re-delivered frames", r.Deduped, r.Duplicated)
+		}
+		if r.Recovered == 0 {
+			t.Fatal("replay outage recovered nothing from its spool")
+		}
+		// Exactly-once accounting balances: every published message is
+		// either delivered once or dropped, never double counted.
+		if r.Delivered+r.Dropped != r.Published {
+			t.Fatalf("accounting broken: delivered %d + dropped %d != published %d",
+				r.Delivered, r.Dropped, r.Published)
+		}
+	} else {
+		t.Fatalf("campaign missing replay-outage profile (have %v)", profileNames(c))
+	}
 	for _, r := range c.Runs {
 		if len(r.Log) == 0 {
 			t.Fatalf("profile %s produced no fault log", r.Profile)

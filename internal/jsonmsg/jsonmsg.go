@@ -112,6 +112,12 @@ type Message struct {
 	Cnt          int64     `json:"cnt"`
 	Op           string    `json:"op"`
 	Seg          []Segment `json:"seg"`
+	// Seq is the per-producer sequence number the connector stamps for
+	// exactly-once ingest: (ProducerName, Seq) identifies a message across
+	// retries and spool replays. The Table I encoders do not emit it (the
+	// paper's payload is unchanged); it travels out-of-band on the streams
+	// message and is accepted here when a peer does include it.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // JobMeta is the static job information stamped into every message.

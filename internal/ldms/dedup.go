@@ -1,0 +1,99 @@
+package ldms
+
+import (
+	"sync"
+
+	"darshanldms/internal/streams"
+)
+
+// DedupStore makes an at-least-once ingest path exactly-once: the
+// connector stamps every message with a (producer, seq) identity, and this
+// wrapper drops any identity it has already stored. Reconnect replays
+// (ReconnectingForwarder re-sending its tail) and fault-link spool replays
+// then become idempotent instead of double-inserting.
+//
+// A duplicate is acked (Store returns nil) without reaching the inner
+// plugin — the original delivery already stored it. Unstamped messages
+// (no producer or seq) pass through untouched, preserving the default
+// pipeline's behavior bit-for-bit.
+//
+// The identity is remembered in a per-producer seen-set, not a high-water
+// mark: latency spikes can reorder fresh messages across hops, and a
+// high-water mark would misclassify a late-but-new message as a replay.
+type DedupStore struct {
+	inner StorePlugin
+
+	mu         sync.Mutex
+	seen       map[string]map[uint64]struct{}
+	duplicates uint64
+	stored     uint64
+	unstamped  uint64
+}
+
+// NewDedupStore wraps inner with (producer, seq) deduplication.
+func NewDedupStore(inner StorePlugin) *DedupStore {
+	return &DedupStore{inner: inner, seen: map[string]map[uint64]struct{}{}}
+}
+
+// Name implements StorePlugin.
+func (s *DedupStore) Name() string { return "dedup(" + s.inner.Name() + ")" }
+
+// Store implements StorePlugin. The lock is held across the inner call so
+// two concurrent deliveries of the same identity cannot both pass the
+// check — the store chain is serialized by AttachStore anyway, so this
+// costs nothing in the pipeline.
+func (s *DedupStore) Store(m streams.Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Producer == "" || m.Seq == 0 {
+		s.unstamped++
+		return s.inner.Store(m)
+	}
+	if _, dup := s.seen[m.Producer][m.Seq]; dup {
+		s.duplicates++
+		return nil
+	}
+	if err := s.inner.Store(m); err != nil {
+		// Not marked seen: the retry that follows is a fresh attempt, not
+		// a replay, and must reach the inner store again.
+		return err
+	}
+	set := s.seen[m.Producer]
+	if set == nil {
+		set = map[uint64]struct{}{}
+		s.seen[m.Producer] = set
+	}
+	set[m.Seq] = struct{}{}
+	s.stored++
+	return nil
+}
+
+// Duplicates returns how many stamped messages were suppressed as
+// replays.
+func (s *DedupStore) Duplicates() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duplicates
+}
+
+// Stored returns how many stamped messages reached the inner store.
+func (s *DedupStore) Stored() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stored
+}
+
+// Unstamped returns how many messages passed through without an identity.
+func (s *DedupStore) Unstamped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.unstamped
+}
+
+// Seen reports whether the identity has been stored already.
+func (s *DedupStore) Seen(producer string, seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.seen[producer][seq]
+	return ok
+}

@@ -84,6 +84,15 @@ type ForwarderConfig struct {
 	// dead link. Probes use HeartbeatTag and are not published remotely.
 	HeartbeatEvery time.Duration
 
+	// ReplayLast, when positive, re-sends the last ReplayLast delivered
+	// messages after every reconnect: frames in flight when a connection
+	// dies are of unknown fate (the kernel may have buffered them, the
+	// peer may have processed them), so the forwarder re-covers the tail
+	// rather than risk a silent gap. This upgrades delivery from
+	// best-effort to at-least-once; pair the receiving store with a
+	// DedupStore to make the path exactly-once.
+	ReplayLast int
+
 	// Seed seeds the jitter stream; a fixed seed gives a reproducible
 	// backoff schedule in tests. Zero derives from the wall clock.
 	Seed uint64
@@ -122,6 +131,7 @@ type ForwarderStats struct {
 	Dials      uint64 // connection attempts that succeeded
 	Reconnects uint64 // successful dials after the first
 	Heartbeats uint64 // liveness probes written
+	Replayed   uint64 // tail messages re-sent after reconnects (ReplayLast)
 	SpoolDepth int    // messages currently spooled
 	Connected  bool
 }
@@ -154,6 +164,12 @@ type ReconnectingForwarder struct {
 	jr         *rng.Stream
 	dials      uint64
 	heartbeats uint64
+	// Reconnect-replay state (ReplayLast > 0): ring of the most recently
+	// sent messages, and whether a live connection has died since the last
+	// successful send — the signal that the tail must be re-covered.
+	ring          []streams.Message
+	replayPending bool
+	replayed      uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -323,12 +339,23 @@ func (f *ReconnectingForwarder) pause(d time.Duration) bool {
 }
 
 // sendFrame writes one frame on the current connection, dialing first if
-// necessary. Any error tears the connection down for a fresh dial.
+// necessary. Any error tears the connection down for a fresh dial. On a
+// reconnect with ReplayLast set, the recent tail is re-sent before m.
 func (f *ReconnectingForwarder) sendFrame(m streams.Message) error {
 	f.connMu.Lock()
 	defer f.connMu.Unlock()
 	if err := f.ensureConnLocked(); err != nil {
 		return err
+	}
+	if f.replayPending {
+		for _, r := range f.ring {
+			if err := WriteFrame(f.bw, r); err != nil {
+				f.teardownLocked()
+				return err
+			}
+			f.replayed++
+		}
+		f.replayPending = false
 	}
 	if err := WriteFrame(f.bw, m); err != nil {
 		f.teardownLocked()
@@ -337,6 +364,12 @@ func (f *ReconnectingForwarder) sendFrame(m streams.Message) error {
 	if err := f.bw.Flush(); err != nil {
 		f.teardownLocked()
 		return err
+	}
+	if f.cfg.ReplayLast > 0 && m.Tag != HeartbeatTag {
+		f.ring = append(f.ring, m)
+		if len(f.ring) > f.cfg.ReplayLast {
+			f.ring = f.ring[1:]
+		}
 	}
 	return nil
 }
@@ -377,6 +410,9 @@ func (f *ReconnectingForwarder) teardownLocked() {
 		f.conn.Close()
 		f.conn = nil
 		f.bw = nil
+		if f.cfg.ReplayLast > 0 && len(f.ring) > 0 {
+			f.replayPending = true
+		}
 	}
 }
 
@@ -420,6 +456,7 @@ func (f *ReconnectingForwarder) Stats() ForwarderStats {
 		st.Reconnects = f.dials - 1
 	}
 	st.Heartbeats = f.heartbeats
+	st.Replayed = f.replayed
 	st.Connected = f.conn != nil
 	f.connMu.Unlock()
 	return st

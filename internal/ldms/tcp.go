@@ -36,11 +36,16 @@ type wireMsg struct {
 	Tag  string `json:"tag"`
 	Type int    `json:"type"`
 	Data []byte `json:"data"` // encoding/json base64s []byte
+	// Delivery identity (streams.Message.Producer/Seq); omitted on the
+	// wire when the message is unstamped, so pre-existing peers and
+	// captures see identical frames.
+	Producer string `json:"producer,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
 }
 
 // WriteFrame writes one stream message to w.
 func WriteFrame(w io.Writer, m streams.Message) error {
-	payload, err := json.Marshal(wireMsg{Tag: m.Tag, Type: int(m.Type), Data: m.Data})
+	payload, err := json.Marshal(wireMsg{Tag: m.Tag, Type: int(m.Type), Data: m.Data, Producer: m.Producer, Seq: m.Seq})
 	if err != nil {
 		return err
 	}
@@ -80,7 +85,7 @@ func ReadFrame(r io.Reader) (streams.Message, error) {
 	if err := json.Unmarshal(payload, &wm); err != nil {
 		return streams.Message{}, err
 	}
-	return streams.Message{Tag: wm.Tag, Type: streams.MsgType(wm.Type), Data: wm.Data}, nil
+	return streams.Message{Tag: wm.Tag, Type: streams.MsgType(wm.Type), Data: wm.Data, Producer: wm.Producer, Seq: wm.Seq}, nil
 }
 
 // TCPServer accepts transport connections and publishes received messages

@@ -13,10 +13,14 @@ var puberrCheck = &Check{
 
 // pubErrNames are the delivery-path methods whose error return reports data
 // loss. Dropping one silently is how a diagnosis pipeline develops holes
-// nobody notices until the anomaly table is wrong.
+// nobody notices until the anomaly table is wrong. Insert/Append cover the
+// durable DSOS ingest path (a dropped insert or WAL append error breaks the
+// ack contract); Restart/Recover cover crash recovery, where a swallowed
+// error leaves a shard silently empty.
 var pubErrNames = map[string]bool{
 	"Publish": true, "PublishJSON": true, "PublishString": true,
 	"Store": true, "Ingest": true,
+	"Insert": true, "Append": true, "Restart": true, "Recover": true,
 }
 
 // runPuberr flags bare expression statements calling a pubErrNames method

@@ -16,11 +16,23 @@ func (f *Forwarder) Ingest(b []byte) (int, error) { return 0, nil }
 // Count returns a drop count, not an error: never flagged.
 func (f *Forwarder) Count(b []byte) int { return 0 }
 
+// Insert writes to a replicated shard; the error breaks the ack contract.
+func (f *Forwarder) Insert(b []byte) error { return nil }
+
+// Append writes a WAL record; the error breaks durability.
+func (f *Forwarder) Append(b []byte) error { return nil }
+
+// Restart recovers a crashed daemon; the error leaves it empty.
+func (f *Forwarder) Restart() error { return nil }
+
 // Bad drops delivery errors on the floor.
 func Bad(f *Forwarder, b []byte) {
 	f.Publish(b) // want puberr
 	f.Store(b)   // want puberr
 	f.Ingest(b)  // want puberr
+	f.Insert(b)  // want puberr
+	f.Append(b)  // want puberr
+	f.Restart()  // want puberr
 }
 
 // Good handles, visibly discards, or annotates.

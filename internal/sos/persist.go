@@ -16,9 +16,32 @@ import (
 
 const snapMagic = "SOS-GO-SNAP1"
 
+// snapMagic2 is the snapshot format carrying per-object origin ids. It is
+// only written when the container actually has stamped origins, so
+// unreplicated snapshots stay byte-identical to the original format.
+const snapMagic2 = "SOS-GO-SNAP2"
+
+// hasOrigins reports whether any live object carries a non-zero origin.
+func (c *Container) hasOrigins() bool {
+	for schema, origins := range c.origins {
+		dead := c.dead[schema]
+		for pos, o := range origins {
+			if o != 0 && !dead[pos] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Snapshot writes the container to w (gzip-compressed binary).
 func (c *Container) Snapshot(w io.Writer) error {
-	if _, err := io.WriteString(w, snapMagic); err != nil {
+	withOrigins := c.hasOrigins()
+	magic := snapMagic
+	if withOrigins {
+		magic = snapMagic2
+	}
+	if _, err := io.WriteString(w, magic); err != nil {
 		return err
 	}
 	zw := gzip.NewWriter(w)
@@ -48,6 +71,9 @@ func (c *Container) Snapshot(w io.Writer) error {
 			for i, v := range obj {
 				e.value(sch.Attrs[i].Type, v)
 			}
+			if withOrigins {
+				e.u64(c.originAt(name, pos))
+			}
 		}
 	}
 	idxNames := c.Indices()
@@ -70,13 +96,14 @@ func (c *Container) Snapshot(w io.Writer) error {
 	return zw.Close()
 }
 
-// Restore reads a container snapshot written by Snapshot.
+// Restore reads a container snapshot written by Snapshot (either format).
 func Restore(r io.Reader) (*Container, error) {
 	magic := make([]byte, len(snapMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, err
 	}
-	if string(magic) != snapMagic {
+	withOrigins := string(magic) == snapMagic2
+	if string(magic) != snapMagic && !withOrigins {
 		return nil, errors.New("sos: not a container snapshot")
 	}
 	zr, err := gzip.NewReader(r)
@@ -123,17 +150,27 @@ func Restore(r io.Reader) (*Container, error) {
 			return nil, fmt.Errorf("sos: implausible object count %d", nObjs)
 		}
 		slab := make([]Object, 0, nObjs)
+		var origins []uint64
+		if withOrigins {
+			origins = make([]uint64, 0, nObjs)
+		}
 		for j := uint64(0); j < nObjs; j++ {
 			obj := make(Object, len(attrs))
 			for k := range attrs {
 				obj[k] = d.value(attrs[k].Type)
 			}
 			slab = append(slab, obj)
+			if withOrigins {
+				origins = append(origins, d.u64())
+			}
 			if d.err != nil {
 				return nil, d.err
 			}
 		}
 		c.slabs[name] = slab
+		if withOrigins {
+			c.origins[name] = origins
+		}
 	}
 	nIdx := d.u64()
 	if d.err != nil {

@@ -173,6 +173,13 @@ type Container struct {
 	// dead marks tombstoned slab positions per schema (monitoring stores
 	// are append-mostly; deletion exists for retention management).
 	dead map[string]map[int]bool
+	// origins holds the cluster-assigned logical insert id of each slab
+	// position (replicated DSOS writes stamp the same origin on every
+	// replica so quorum reads can collapse copies). The slice is allocated
+	// lazily on the first non-zero origin, so unreplicated containers pay
+	// nothing and keep their exact pre-replication memory and snapshot
+	// layout.
+	origins map[string][]uint64
 }
 
 // NewContainer creates an empty container.
@@ -183,6 +190,7 @@ func NewContainer(name string) *Container {
 		slabs:   map[string][]Object{},
 		indices: map[string]*Index{},
 		dead:    map[string]map[int]bool{},
+		origins: map[string][]uint64{},
 	}
 }
 
@@ -260,6 +268,14 @@ func (c *Container) indexKey(ix *Index, obj Object, oid uint64) Key {
 // Insert appends an object to the schema's slab and updates every index on
 // that schema. The object's values must match the schema's types.
 func (c *Container) Insert(schemaName string, obj Object) error {
+	return c.InsertOrigin(schemaName, obj, 0)
+}
+
+// InsertOrigin inserts like Insert and records origin, a cluster-assigned
+// logical insert id. Replicated DSOS writes stamp the same non-zero origin
+// on every replica so a quorum read can recognise copies of one logical
+// object; origin 0 means "unreplicated" and costs nothing.
+func (c *Container) InsertOrigin(schemaName string, obj Object, origin uint64) error {
 	sch := c.schemas[schemaName]
 	if sch == nil {
 		return fmt.Errorf("sos: unknown schema %q", schemaName)
@@ -274,6 +290,13 @@ func (c *Container) Insert(schemaName string, obj Object) error {
 	}
 	pos := len(c.slabs[schemaName])
 	c.slabs[schemaName] = append(c.slabs[schemaName], obj)
+	if origin != 0 && c.origins[schemaName] == nil {
+		// First stamped insert: backfill zeros for earlier objects.
+		c.origins[schemaName] = make([]uint64, pos)
+	}
+	if c.origins[schemaName] != nil {
+		c.origins[schemaName] = append(c.origins[schemaName], origin)
+	}
 	oid := c.nextOID
 	c.nextOID++
 	for _, ix := range c.indices {
@@ -282,6 +305,15 @@ func (c *Container) Insert(schemaName string, obj Object) error {
 		}
 	}
 	return nil
+}
+
+// originAt returns the origin stamped on the given slab position (0 when
+// the schema has no stamped inserts).
+func (c *Container) originAt(schema string, pos int) uint64 {
+	if o := c.origins[schema]; pos < len(o) {
+		return o[pos]
+	}
+	return 0
 }
 
 func typeMatches(t Type, v any) bool {
@@ -355,12 +387,23 @@ func (c *Container) Compact(schema string) int {
 	}
 	old := c.slabs[schema]
 	live := make([]Object, 0, len(old)-len(marks))
+	oldOrigins := c.origins[schema]
+	var liveOrigins []uint64
+	if oldOrigins != nil {
+		liveOrigins = make([]uint64, 0, len(old)-len(marks))
+	}
 	for pos, obj := range old {
 		if !marks[pos] {
 			live = append(live, obj)
+			if oldOrigins != nil {
+				liveOrigins = append(liveOrigins, oldOrigins[pos])
+			}
 		}
 	}
 	c.slabs[schema] = live
+	if oldOrigins != nil {
+		c.origins[schema] = liveOrigins
+	}
 	delete(c.dead, schema)
 	// Rebuild affected indices.
 	for name, ix := range c.indices {
@@ -417,4 +460,47 @@ func (c *Container) Range(indexName string, from, to Key) ([]Object, error) {
 		return true
 	})
 	return out, err
+}
+
+// IterOrigins streams objects like Iter but also yields each object's
+// stamped origin id (0 when the schema has none).
+func (c *Container) IterOrigins(indexName string, from Key, yield func(Object, uint64) bool) error {
+	ix := c.indices[indexName]
+	if ix == nil {
+		return fmt.Errorf("sos: unknown index %q", indexName)
+	}
+	it := ix.tree.seek(from)
+	for it.valid() {
+		_, ref := it.entry()
+		if !c.dead[ref.schema][ref.pos] {
+			if !yield(c.slabs[ref.schema][ref.pos], c.originAt(ref.schema, ref.pos)) {
+				return nil
+			}
+		}
+		it.next()
+	}
+	return nil
+}
+
+// RangeOrigins collects objects like Range alongside their origin ids, in
+// matching order.
+func (c *Container) RangeOrigins(indexName string, from, to Key) ([]Object, []uint64, error) {
+	var out []Object
+	var origins []uint64
+	err := c.IterOrigins(indexName, from, func(o Object, origin uint64) bool {
+		if to != nil {
+			ix := c.indices[indexName]
+			key := make(Key, 0, len(ix.attrIdxs))
+			for _, ai := range ix.attrIdxs {
+				key = append(key, o[ai])
+			}
+			if CompareKeys(key, to) >= 0 {
+				return false
+			}
+		}
+		out = append(out, o)
+		origins = append(origins, origin)
+		return true
+	})
+	return out, origins, err
 }

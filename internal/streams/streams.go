@@ -31,11 +31,19 @@ func (t MsgType) String() string {
 	return "string"
 }
 
-// Message is one published stream message.
+// Message is one published stream message. Producer and Seq, when set,
+// form the message's delivery identity: the connector stamps each message
+// with its producer (node) name and a per-producer sequence number so
+// downstream stores can deduplicate at-least-once replays (a reconnecting
+// forwarder re-sending its spool) without inspecting the payload. They
+// ride alongside the payload — the JSON bytes the paper specifies are
+// unchanged — and are zero for messages published without stamping.
 type Message struct {
-	Tag  string
-	Type MsgType
-	Data []byte
+	Tag      string
+	Type     MsgType
+	Data     []byte
+	Producer string
+	Seq      uint64
 }
 
 // Handler consumes delivered messages.

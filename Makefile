@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test check chaos-smoke fuzz-smoke bench bench-full experiments examples clean
+.PHONY: all build vet lint test check chaos-smoke fuzz-smoke bench bench-smoke bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -39,12 +39,20 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime $(FUZZTIME) ./internal/darshanlog
 	$(GO) test -run='^$$' -fuzz='FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/jsonmsg
-	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/ldms
+	$(GO) test -run='^$$' -fuzz='FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/ldms
+	$(GO) test -run='^$$' -fuzz='FuzzReadBatchFrame$$' -fuzztime $(FUZZTIME) ./internal/ldms
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime $(FUZZTIME) ./internal/sos
 
 # Scaled-down benchmarks: one per table/figure plus pipeline microbenches.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Pipeline-throughput microbenchmark of the typed message plane; writes
+# results/BENCH_pipeline.json (events/sec, ns/event, allocs/event) and
+# fails if the typed plane is under 3x the legacy encode-reparse pipeline
+# (CI runs this too and uploads the JSON).
+bench-smoke:
+	$(GO) run ./cmd/dlc-experiments -only pipeline -reps 3 -out results
 
 # The paper's full workload sizes (slow: ~20 minutes).
 bench-full:

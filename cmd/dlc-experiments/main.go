@@ -6,8 +6,9 @@
 //	dlc-experiments [-seed N] [-reps N] [-scale F] [-out DIR] [-only LIST]
 //
 // -only selects a comma-separated subset of
-// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos}; the default runs
-// everything.
+// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,pipeline}; the default
+// runs everything except pipeline, whose wall-clock numbers are
+// host-dependent and therefore never part of the golden output set.
 // -scale shrinks the workloads (1.0 = the paper's full configuration;
 // runtimes and message counts scale with it).
 package main
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"darshanldms/internal/harness"
+	"darshanldms/internal/pipebench"
 	"darshanldms/internal/simfs"
 	"darshanldms/internal/webui"
 )
@@ -29,8 +31,10 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 5)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper's full size)")
 	outDir := flag.String("out", "results", "output directory")
-	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos")
+	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,pipeline")
 	bins := flag.Int("bins", 24, "time bins for Figure 9")
+	benchEvents := flag.Int("bench-events", 50_000, "events per pipeline benchmark rep")
+	benchBatch := flag.Int("bench-batch", 32, "records per batch frame in the pipeline benchmark")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -152,6 +156,24 @@ func main() {
 		emit("chaos", text)
 		if soak.Violations != 0 {
 			fatal(fmt.Errorf("chaos soak: durable configuration violated %d invariants", soak.Violations))
+		}
+	}
+	if want["pipeline"] {
+		// Wall-clock microbenchmark of the typed message plane; excluded
+		// from "all" so golden regeneration stays host-independent. The
+		// JSON artifact carries the machine-readable numbers for CI.
+		report, err := pipebench.Run(*seed, *benchEvents, *reps, *benchBatch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(pipebench.Render(report))
+		jsonPath := filepath.Join(*outDir, "BENCH_pipeline.json")
+		if err := pipebench.WriteJSON(jsonPath, report); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+		if report.SpeedupTyped < 3 {
+			fatal(fmt.Errorf("pipeline bench: typed plane %.2fx vs legacy, want >= 3x", report.SpeedupTyped))
 		}
 	}
 	if want["7"] || want["8"] || want["9"] {

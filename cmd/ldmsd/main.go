@@ -12,6 +12,7 @@
 //	      [-samplers meminfo,vmstat] [-sample-interval 1s]
 //	      [-reconnect] [-spool 1024] [-spool-policy drop-oldest]
 //	      [-heartbeat 5s] [-seed 42]
+//	      [-batch 32] [-batch-bytes 262144] [-batch-age 5ms]
 //
 // -seed pins the sampler RNG so fault campaigns against a real daemon are
 // reproducible; with -seed 0 (the default) the seed derives from the wall
@@ -20,7 +21,10 @@
 // By default forwarding is best-effort like LDMS Streams: if the upstream
 // aggregator dies, messages are dropped silently. -reconnect switches the
 // uplink to a ReconnectingForwarder that spools undelivered messages and
-// redials with backoff; -heartbeat adds liveness probes on the link.
+// redials with backoff; -heartbeat adds liveness probes on the link. With
+// -batch/-batch-bytes/-batch-age the resilient uplink coalesces spooled
+// messages into batched frames (count, byte and linger-age flush bounds);
+// typed records cross the wire in compact binary, never as JSON.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"darshanldms/internal/connector"
+	"darshanldms/internal/event"
 	"darshanldms/internal/ldms"
 	"darshanldms/internal/rng"
 )
@@ -50,6 +55,9 @@ func main() {
 	spoolSize := flag.Int("spool", 1024, "reconnect spool size in messages")
 	spoolPolicy := flag.String("spool-policy", "drop-oldest", "spool overflow policy: drop-oldest, drop-newest or block")
 	heartbeat := flag.Duration("heartbeat", 0, "liveness probe interval on the reconnect uplink (0 = off)")
+	batchRecords := flag.Int("batch", 0, "max records per batched uplink frame (0 = frame per message; needs -reconnect)")
+	batchBytes := flag.Int("batch-bytes", 0, "max payload bytes per batched uplink frame (0 = unbounded)")
+	batchAge := flag.Duration("batch-age", 0, "max linger before a partial batch is flushed (0 = no linger)")
 	seed := flag.Uint64("seed", 0, "sampler RNG seed; 0 derives one from the wall clock (nonreproducible)")
 	flag.Parse()
 
@@ -104,12 +112,18 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			batch := event.FlushPolicy{
+				MaxRecords: *batchRecords,
+				MaxBytes:   *batchBytes,
+				MaxAge:     *batchAge,
+			}
 			fwd, err = ldms.NewReconnectingForwarder(d, ldms.ForwarderConfig{
 				Addr:           *forward,
 				Tag:            *tag,
 				SpoolSize:      *spoolSize,
 				Overflow:       policy,
 				HeartbeatEvery: *heartbeat,
+				Batch:          batch,
 			})
 			if err != nil {
 				fatal(err)
@@ -117,6 +131,10 @@ func main() {
 			defer fwd.Close()
 			fmt.Fprintf(os.Stderr, "ldmsd: resilient forwarding tag %q to %s (spool %d, %s)\n",
 				*tag, *forward, *spoolSize, policy)
+			if batch.Enabled() {
+				fmt.Fprintf(os.Stderr, "ldmsd: batching uplink frames (max %d records, %d bytes, linger %s)\n",
+					*batchRecords, *batchBytes, *batchAge)
+			}
 		} else {
 			client, err := ldms.DialTCP(*forward)
 			if err != nil {

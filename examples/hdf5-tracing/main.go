@@ -18,6 +18,7 @@ import (
 	"darshanldms/internal/cluster"
 	"darshanldms/internal/connector"
 	"darshanldms/internal/darshan"
+	"darshanldms/internal/event"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
 	"darshanldms/internal/rng"
@@ -36,7 +37,9 @@ func main() {
 	daemon := ldms.NewDaemon("ldmsd", machine.Node(0).Name)
 	shownH5 := 0
 	daemon.Bus().Subscribe(connector.DefaultTag, func(m streams.Message) {
-		msg, err := jsonmsg.Parse(m.Data)
+		// event.Fields reads the typed record directly; no JSON is ever
+		// produced or parsed on this path.
+		msg, err := event.Fields(m)
 		if err != nil {
 			panic(err)
 		}

@@ -48,7 +48,9 @@ func main() {
 		d.Bus().Subscribe(connector.DefaultTag, func(m streams.Message) {
 			total++
 			if shown < 3 {
-				fmt.Printf("stream message %d: %s\n\n", total, m.Data)
+				// Payload() renders the typed record's JSON on demand —
+				// only these three printed messages are ever encoded.
+				fmt.Printf("stream message %d: %s\n\n", total, m.Payload())
 				shown++
 			}
 		})
@@ -74,7 +76,7 @@ func main() {
 	// 6. Results: run-time stream vs post-run summary.
 	st := conn.Stats()
 	fmt.Printf("job finished in %.2f virtual seconds\n", engine.Seconds())
-	fmt.Printf("connector: %d events detected, %d messages published (%d bytes)\n",
+	fmt.Printf("connector: %d events detected, %d messages published (%d bytes JSON-encoded, lazily)\n",
 		st.Detected, st.Published, st.Bytes)
 	fmt.Printf("subscribers received %d messages during the run\n\n", total)
 

@@ -13,7 +13,10 @@
 package connector
 
 import (
+	"sync/atomic"
+
 	"darshanldms/internal/darshan"
+	"darshanldms/internal/event"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
 	"darshanldms/internal/streams"
@@ -53,7 +56,11 @@ type Stats struct {
 	Sampled   uint64 // events skipped by every-Nth sampling
 	Filtered  uint64 // events skipped by the module filter
 	Dropped   uint64 // publishes that found no subscriber (best effort)
-	Bytes     uint64 // encoded payload bytes
+	// Bytes counts payload bytes actually JSON-encoded. Messages now
+	// travel as typed records that encode lazily at text boundaries, so
+	// this counts real encodes, not publishes — on an all-typed pipeline
+	// it stays 0, which is the point of the refactor.
+	Bytes uint64
 }
 
 // Connector is an attached Darshan-LDMS connector.
@@ -64,10 +71,19 @@ type Connector struct {
 	modules  map[darshan.Module]bool
 	daemonOf func(producer string) *ldms.Daemon
 	stats    Stats
+	bytes    atomic.Uint64 // lazily encoded payload bytes (see Stats.Bytes)
+	lossy    bool          // encoder output does not carry the fields (ablation)
 	// seqs hands out per-producer sequence numbers, the message's
 	// delivery identity for downstream dedup (exactly-once ingest).
 	seqs map[string]uint64
 }
+
+// lossyEncoder marks encoders whose output deliberately discards the
+// record's fields (jsonmsg.NoneEncoder, the paper's "without sprintf"
+// ablation). Their messages must keep the legacy eager form: shipping
+// the typed record instead would quietly un-lose the fields downstream
+// and change what the ablation measures.
+type lossyEncoder interface{ Lossy() bool }
 
 // Attach registers the connector on a Darshan runtime. daemonOf routes a
 // producer (node) name to that node's LDMSD — in the real deployment each
@@ -89,6 +105,9 @@ func New(cfg Config, daemonOf func(producer string) *ldms.Daemon) *Connector {
 	if c.enc == nil {
 		c.enc = jsonmsg.SprintfEncoder{}
 	}
+	if l, ok := c.enc.(lossyEncoder); ok && l.Lossy() {
+		c.lossy = true
+	}
 	c.tag = cfg.Tag
 	if c.tag == "" {
 		c.tag = DefaultTag
@@ -109,7 +128,11 @@ func (c *Connector) Tag() string { return c.tag }
 func (c *Connector) Encoder() jsonmsg.Encoder { return c.enc }
 
 // Stats returns a snapshot of the counters.
-func (c *Connector) Stats() Stats { return c.stats }
+func (c *Connector) Stats() Stats {
+	s := c.stats
+	s.Bytes += c.bytes.Load()
+	return s
+}
 
 // OnEvent is the darshan.Listener: it formats and publishes one event.
 func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
@@ -125,7 +148,10 @@ func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
 	msg := jsonmsg.FromEvent(ev, c.cfg.Meta)
 	c.seqs[ev.Producer]++
 	msg.Seq = c.seqs[ev.Producer]
-	payload := c.enc.Encode(&msg)
+	// The encoder's cost is charged in virtual time here whether or not
+	// the real encode ever happens: the rank pays for formatting in the
+	// paper's cost model, and keeping the charge at the hook is what
+	// makes lazy encoding invisible to every seeded table and figure.
 	if c.cfg.ChargeOverhead {
 		ctx.Charge(c.enc.SimCost())
 	}
@@ -135,14 +161,19 @@ func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
 		return
 	}
 	c.stats.Published++
-	c.stats.Bytes += uint64(len(payload))
 	// The (producer, seq) identity rides out-of-band on the stream message
 	// (the encoders keep the Table I payload bytes unchanged).
-	n := d.Bus().Publish(streams.Message{
-		Tag: c.tag, Type: streams.TypeJSON, Data: payload,
-		Producer: ev.Producer, Seq: msg.Seq,
-	})
-	if n == 0 {
+	m := streams.Message{Tag: c.tag, Type: streams.TypeJSON, Producer: ev.Producer, Seq: msg.Seq}
+	if c.lossy {
+		// Ablation encoders discard the fields on purpose; keep their
+		// placeholder payload eager so downstream sees exactly what the
+		// paper's "without sprintf" configuration shipped.
+		m.Data = c.enc.Encode(&msg)
+		c.bytes.Add(uint64(len(m.Data)))
+	} else {
+		m.Record = event.NewRecord(&msg, c.enc).CountEncodes(&c.bytes)
+	}
+	if d.Bus().Publish(m) == 0 {
 		c.stats.Dropped++
 	}
 }

@@ -98,10 +98,18 @@ func SetupDarshan(c *Cluster) error {
 // ObjectsFromMessage converts a connector message into store objects, one
 // per seg entry.
 func ObjectsFromMessage(m *jsonmsg.Message) []sos.Object {
-	out := make([]sos.Object, 0, len(m.Seg))
+	return AppendObjects(make([]sos.Object, 0, len(m.Seg)), m)
+}
+
+// AppendObjects appends one store object per seg entry to dst and returns
+// it. Ingest consumes the typed record directly — the message arrives
+// here as the struct the connector built, not as JSON bytes to re-parse —
+// and the outer slice can be reused across messages (the objects
+// themselves are fresh; the store retains them).
+func AppendObjects(dst []sos.Object, m *jsonmsg.Message) []sos.Object {
 	for i := range m.Seg {
 		s := &m.Seg[i]
-		out = append(out, sos.Object{
+		dst = append(dst, sos.Object{
 			m.Module,
 			m.UID,
 			m.ProducerName,
@@ -128,5 +136,5 @@ func ObjectsFromMessage(m *jsonmsg.Message) []sos.Object {
 			s.Timestamp,
 		})
 	}
-	return out
+	return dst
 }

@@ -431,6 +431,58 @@ func (cl *Client) Insert(schema string, obj sos.Object) error {
 	return nil
 }
 
+// InsertBatch inserts the objects with a single placement reservation:
+// the round-robin cursor (and, under replication, the origin ids) are
+// advanced once for the whole batch, so the shard each object lands on is
+// exactly the shard a sequence of Insert calls would have chosen — batched
+// and unbatched ingest produce identical clusters. It returns the first
+// error once every remaining object has been attempted (ingest is
+// per-object best-effort, same as the unbatched path).
+func (cl *Client) InsertBatch(schema string, objs []sos.Object) error {
+	if len(objs) == 0 {
+		return nil
+	}
+	c := cl.c
+	c.mu.Lock()
+	n := len(c.daemons)
+	start := c.next % n
+	c.next += len(objs)
+	repl := c.repl
+	var origin uint64
+	if repl > 1 {
+		origin = c.origin
+		c.origin += uint64(len(objs))
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for k, obj := range objs {
+		var err error
+		if repl == 1 {
+			err = c.daemons[(start+k)%n].Insert(schema, obj)
+		} else {
+			acked := 0
+			var replErr error
+			for i := 0; i < repl; i++ {
+				d := c.daemons[(start+k+i)%n]
+				if e := d.InsertOrigin(schema, obj, origin+uint64(k+1)); e != nil {
+					if replErr == nil {
+						replErr = e
+					}
+					continue
+				}
+				acked++
+			}
+			if acked == 0 {
+				err = replErr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // Count sums object counts across daemons. With replication each object
 // is counted once per stored replica.
 func (cl *Client) Count(schema string) int {

@@ -1,0 +1,175 @@
+package event
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"darshanldms/internal/jsonmsg"
+)
+
+// Compact binary codec for the Table I record, used inside batched TCP
+// frames so typed records cross the wire without ever being rendered to
+// JSON (Recorder-style compact trace records). The layout is fixed-order:
+// varints for integers (zigzag for signed), raw IEEE-754 bits for floats,
+// length-prefixed strings, a segment count followed by the segments.
+// Float bits travel verbatim, so a decoded record is value-identical to
+// the encoded one — the property the golden ingest test pins down.
+
+// ErrTruncated reports a record cut short of its declared contents.
+var ErrTruncated = errors.New("event: truncated binary record")
+
+// minSegSize is the smallest possible encoded segment: an empty DataSet
+// (1 byte), seven single-byte varints, and two 8-byte floats. Decoders
+// cap declared counts with it so a hostile header cannot make them
+// reserve gigabytes (same hardening as darshanlog's decoder).
+const minSegSize = 1 + 7 + 16
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendZig(b []byte, v int64) []byte {
+	return binary.AppendUvarint(b, uint64((v<<1)^(v>>63)))
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// AppendMessage appends m's binary encoding to b and returns the
+// extended slice.
+func AppendMessage(b []byte, m *jsonmsg.Message) []byte {
+	b = appendZig(b, m.UID)
+	b = appendString(b, m.Exe)
+	b = appendZig(b, m.JobID)
+	b = appendZig(b, int64(m.Rank))
+	b = appendString(b, m.ProducerName)
+	b = appendString(b, m.File)
+	b = binary.AppendUvarint(b, m.RecordID)
+	b = appendString(b, m.Module)
+	b = appendString(b, m.Type)
+	b = appendZig(b, m.MaxByte)
+	b = appendZig(b, m.Switches)
+	b = appendZig(b, m.Flushes)
+	b = appendZig(b, m.Cnt)
+	b = appendString(b, m.Op)
+	b = binary.AppendUvarint(b, m.Seq)
+	b = binary.AppendUvarint(b, uint64(len(m.Seg)))
+	for i := range m.Seg {
+		s := &m.Seg[i]
+		b = appendString(b, s.DataSet)
+		b = appendZig(b, s.PtSel)
+		b = appendZig(b, s.IrregHSlab)
+		b = appendZig(b, s.RegHSlab)
+		b = appendZig(b, s.NDims)
+		b = appendZig(b, s.NPoints)
+		b = appendZig(b, s.Off)
+		b = appendZig(b, s.Len)
+		b = appendFloat(b, s.Dur)
+		b = appendFloat(b, s.Timestamp)
+	}
+	return b
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = ErrTruncated
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) zig() int64 {
+	u := d.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.err = ErrTruncated
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b)-d.off < 8 {
+		d.err = ErrTruncated
+		return 0
+	}
+	f := math.Float64frombits(binary.BigEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return f
+}
+
+// DecodeMessage decodes one binary record from the front of b, returning
+// the message and the number of bytes consumed.
+func DecodeMessage(b []byte) (*jsonmsg.Message, int, error) {
+	d := &decoder{b: b}
+	m := &jsonmsg.Message{}
+	m.UID = d.zig()
+	m.Exe = d.str()
+	m.JobID = d.zig()
+	m.Rank = int(d.zig())
+	m.ProducerName = d.str()
+	m.File = d.str()
+	m.RecordID = d.uvarint()
+	m.Module = d.str()
+	m.Type = d.str()
+	m.MaxByte = d.zig()
+	m.Switches = d.zig()
+	m.Flushes = d.zig()
+	m.Cnt = d.zig()
+	m.Op = d.str()
+	m.Seq = d.uvarint()
+	nseg := d.uvarint()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if nseg > uint64(len(d.b)-d.off)/minSegSize+1 {
+		return nil, 0, ErrTruncated
+	}
+	if nseg > 0 {
+		m.Seg = make([]jsonmsg.Segment, 0, nseg)
+	}
+	for i := uint64(0); i < nseg; i++ {
+		var s jsonmsg.Segment
+		s.DataSet = d.str()
+		s.PtSel = d.zig()
+		s.IrregHSlab = d.zig()
+		s.RegHSlab = d.zig()
+		s.NDims = d.zig()
+		s.NPoints = d.zig()
+		s.Off = d.zig()
+		s.Len = d.zig()
+		s.Dur = d.float()
+		s.Timestamp = d.float()
+		if d.err != nil {
+			return nil, 0, d.err
+		}
+		m.Seg = append(m.Seg, s)
+	}
+	return m, d.off, nil
+}

@@ -12,6 +12,7 @@ import (
 	"darshanldms/internal/connector"
 	"darshanldms/internal/darshan"
 	"darshanldms/internal/dsos"
+	"darshanldms/internal/event"
 	"darshanldms/internal/faults"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
@@ -125,7 +126,7 @@ func (a *ackRecorder) Store(m streams.Message) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.acked++
-	if msg, err := jsonmsg.Parse(m.Data); err == nil {
+	if msg, err := event.Fields(m); err == nil {
 		for _, o := range dsos.ObjectsFromMessage(msg) {
 			a.objs[chaosObjKey(o)]++
 		}

@@ -131,6 +131,22 @@ type JobMeta struct {
 // "timestamp" field looks like the paper's epoch seconds.
 const EpochBase = 1.6e9
 
+// Quant6 rounds v to the 6-decimal value its JSON rendering ("%.6f")
+// carries. FromEvent quantizes dur/timestamp at the source so a typed
+// record holds exactly the value a peer would recover by parsing the
+// JSON: the encode→parse round trip becomes the identity, which is what
+// lets the lazy typed plane skip it without perturbing a single stored
+// row. The quantization is idempotent (formatting the parsed value back
+// to 6 decimals reproduces the same text), so the JSON bytes themselves
+// are unchanged too.
+func Quant6(v float64) float64 {
+	q, err := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 6, 64), 64)
+	if err != nil {
+		return v
+	}
+	return q
+}
+
 // FromEvent builds the connector message for a Darshan event. Open events
 // are typed MET and carry the absolute exe/file paths; all other events are
 // typed MOD with "N/A" placeholders (Section IV-C of the paper). Missing
@@ -167,8 +183,8 @@ func FromEvent(ev *darshan.Event, meta JobMeta) Message {
 		NPoints:    -1,
 		Off:        ev.Offset,
 		Len:        ev.Length,
-		Dur:        ev.Duration().Seconds(),
-		Timestamp:  EpochBase + ev.End.Seconds(),
+		Dur:        Quant6(ev.Duration().Seconds()),
+		Timestamp:  Quant6(EpochBase + ev.End.Seconds()),
 	}
 	if ev.H5 != nil {
 		seg.DataSet = ev.H5.DataSet
@@ -203,6 +219,8 @@ func (SprintfEncoder) Name() string { return "sprintf" }
 func (SprintfEncoder) SimCost() time.Duration { return 520 * time.Microsecond }
 
 // Encode implements Encoder.
+//
+//lint:allow hotalloc deliberate sprintf-encoder ablation (Table IIc cost model)
 func (SprintfEncoder) Encode(m *Message) []byte {
 	var b strings.Builder
 	b.WriteString(fmt.Sprintf("{%s,", fmt.Sprintf("%q:%d", "uid", m.UID)))
@@ -328,6 +346,12 @@ var nonePayload = []byte(`{"type":"raw"}`)
 
 // Encode implements Encoder.
 func (NoneEncoder) Encode(m *Message) []byte { return nonePayload }
+
+// Lossy reports that this encoder's output does not carry the message
+// fields. The connector checks for this marker and keeps such messages
+// in their eager placeholder form instead of shipping the typed record
+// (which would quietly restore the fields the ablation throws away).
+func (NoneEncoder) Lossy() bool { return true }
 
 // Parse decodes a JSON message produced by the Sprintf or Fast encoders.
 func Parse(data []byte) (*Message, error) {

@@ -17,6 +17,11 @@ import (
 // (no producer or seq) pass through untouched, preserving the default
 // pipeline's behavior bit-for-bit.
 //
+// The identity rides out-of-band on the streams message, so dedup never
+// touches the payload: typed records pass through without being encoded
+// or parsed, and a batch-frame replay dedups per record exactly like the
+// legacy frame-per-message replay.
+//
 // The identity is remembered in a per-producer seen-set, not a high-water
 // mark: latency spikes can reorder fresh messages across hops, and a
 // high-water mark would misclassify a late-but-new message as a replay.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"darshanldms/internal/event"
 	"darshanldms/internal/rng"
 	"darshanldms/internal/streams"
 )
@@ -93,6 +94,15 @@ type ForwarderConfig struct {
 	// DedupStore to make the path exactly-once.
 	ReplayLast int
 
+	// Batch, when enabled (see event.FlushPolicy.Enabled), drains the
+	// spool in batches sent as single batch frames: up to MaxRecords /
+	// MaxBytes per flush, waiting at most MaxAge for a partial batch to
+	// fill once the first message is in hand. Batches form naturally
+	// under backpressure — a deep spool yields full batches, an idle one
+	// yields batches of one after at most MaxAge. The zero value keeps
+	// the legacy one-frame-per-message wire behavior.
+	Batch event.FlushPolicy
+
 	// Seed seeds the jitter stream; a fixed seed gives a reproducible
 	// backoff schedule in tests. Zero derives from the wall clock.
 	Seed uint64
@@ -151,7 +161,7 @@ type ReconnectingForwarder struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	spool    []streams.Message
-	inflight bool
+	inflight int // messages popped from the spool, not yet sent or dropped
 	closed   bool
 	enqueued uint64
 	sent     uint64
@@ -245,21 +255,163 @@ func (f *ReconnectingForwarder) dropLocked(n uint64) {
 	f.from.Bus().NoteDrops(f.cfg.Tag, n)
 }
 
-// run is the delivery worker: take the spool head, send it (reconnecting
-// as needed), repeat.
+// run is the delivery worker: take the spool head (or a batch of it),
+// send it (reconnecting as needed), repeat.
 func (f *ReconnectingForwarder) run() {
 	defer f.wg.Done()
+	batching := f.cfg.Batch.Enabled()
 	for {
-		m, ok := f.take()
-		if !ok {
-			return
+		if batching {
+			b, ok := f.takeBatch()
+			if !ok {
+				return
+			}
+			f.deliverBatch(b.Messages())
+			batchPool.Put(b)
+		} else {
+			m, ok := f.take()
+			if !ok {
+				return
+			}
+			f.deliver(m)
 		}
-		f.deliver(m)
 		f.mu.Lock()
-		f.inflight = false
+		f.inflight = 0
 		f.cond.Broadcast()
 		f.mu.Unlock()
 	}
+}
+
+// batchPool recycles the forwarder's batch accumulators; its Get/Put
+// counters back the pool-leak assertions in tests.
+var batchPool event.BatchPool
+
+// BatchPoolCounters exposes the batch accumulator pool's Get/Put counts
+// for leak assertions in tests.
+func BatchPoolCounters() (gets, puts uint64) { return batchPool.Counters() }
+
+// takeBatch pops up to a batch worth of spooled messages, blocking until
+// at least one arrives or Close. With an age policy it then lingers up to
+// MaxAge for the batch to fill; without one it takes whatever is already
+// queued (natural batching: depth under backpressure, latency near zero
+// when idle).
+func (f *ReconnectingForwarder) takeBatch() (*event.Batch, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.spool) == 0 && !f.closed {
+		f.cond.Wait()
+	}
+	if len(f.spool) == 0 {
+		return nil, false
+	}
+	b := batchPool.Get()
+	pop := func() bool {
+		if len(f.spool) == 0 {
+			return false
+		}
+		m := f.spool[0]
+		f.spool = f.spool[1:]
+		f.inflight++
+		full := b.Add(m, time.Now(), f.cfg.Batch)
+		f.cond.Broadcast() // space freed for Block publishers
+		return !full
+	}
+	for pop() {
+	}
+	if f.cfg.Batch.MaxAge > 0 && !b.Full(f.cfg.Batch) {
+		// Linger for the batch to fill. The timer broadcast wakes the
+		// cond wait when the age budget runs out.
+		expired := false
+		t := time.AfterFunc(f.cfg.Batch.MaxAge, func() {
+			f.mu.Lock()
+			expired = true
+			f.cond.Broadcast()
+			f.mu.Unlock()
+		})
+		for !expired && !f.closed && !b.Full(f.cfg.Batch) {
+			if len(f.spool) == 0 {
+				f.cond.Wait()
+				continue
+			}
+			pop()
+		}
+		t.Stop()
+	}
+	return b, true
+}
+
+// deliverBatch sends msgs as one batch frame, dialing and backing off
+// until it succeeds or the forwarder closes.
+func (f *ReconnectingForwarder) deliverBatch(msgs []streams.Message) {
+	backoff := f.cfg.InitialBackoff
+	for {
+		select {
+		case <-f.done:
+			f.mu.Lock()
+			f.dropLocked(uint64(len(msgs)))
+			f.mu.Unlock()
+			return
+		default:
+		}
+		if err := f.sendBatchFrame(msgs); err == nil {
+			f.mu.Lock()
+			f.sent += uint64(len(msgs))
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Lock()
+		f.retries++
+		f.mu.Unlock()
+		if !f.pause(f.jitter(backoff)) {
+			f.mu.Lock()
+			f.dropLocked(uint64(len(msgs)))
+			f.mu.Unlock()
+			return
+		}
+		backoff = time.Duration(float64(backoff) * f.cfg.BackoffMultiplier)
+		if backoff > f.cfg.MaxBackoff {
+			backoff = f.cfg.MaxBackoff
+		}
+	}
+}
+
+// sendBatchFrame writes msgs as one batch frame on the current
+// connection, dialing first if necessary; the reconnect tail replay is
+// itself a single batch frame.
+func (f *ReconnectingForwarder) sendBatchFrame(msgs []streams.Message) error {
+	f.connMu.Lock()
+	defer f.connMu.Unlock()
+	if err := f.ensureConnLocked(); err != nil {
+		return err
+	}
+	if f.replayPending {
+		if err := WriteBatchFrame(f.bw, f.ring); err != nil {
+			f.teardownLocked()
+			return err
+		}
+		f.replayed += uint64(len(f.ring))
+		f.replayPending = false
+	}
+	if err := WriteBatchFrame(f.bw, msgs); err != nil {
+		f.teardownLocked()
+		return err
+	}
+	if err := f.bw.Flush(); err != nil {
+		f.teardownLocked()
+		return err
+	}
+	if f.cfg.ReplayLast > 0 {
+		for _, m := range msgs {
+			if m.Tag == HeartbeatTag {
+				continue
+			}
+			f.ring = append(f.ring, m)
+			if len(f.ring) > f.cfg.ReplayLast {
+				f.ring = f.ring[1:]
+			}
+		}
+	}
+	return nil
 }
 
 // take pops the spool head, blocking until a message arrives or Close.
@@ -274,7 +426,7 @@ func (f *ReconnectingForwarder) take() (streams.Message, bool) {
 	}
 	m := f.spool[0]
 	f.spool = f.spool[1:]
-	f.inflight = true
+	f.inflight = 1
 	f.cond.Broadcast() // space freed for Block publishers
 	return m, true
 }
@@ -444,10 +596,7 @@ func (f *ReconnectingForwarder) Stats() ForwarderStats {
 		Sent:       f.sent,
 		Dropped:    f.dropped,
 		Retries:    f.retries,
-		SpoolDepth: len(f.spool),
-	}
-	if f.inflight {
-		st.SpoolDepth++
+		SpoolDepth: len(f.spool) + f.inflight,
 	}
 	f.mu.Unlock()
 	f.connMu.Lock()
@@ -468,7 +617,7 @@ func (f *ReconnectingForwarder) Flush(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		f.mu.Lock()
-		drained := len(f.spool) == 0 && !f.inflight
+		drained := len(f.spool) == 0 && f.inflight == 0
 		f.mu.Unlock()
 		if drained {
 			return nil

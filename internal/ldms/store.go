@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"darshanldms/internal/dsos"
+	"darshanldms/internal/event"
 	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/sos"
 	"darshanldms/internal/streams"
 )
 
@@ -70,11 +72,18 @@ type CountStore struct {
 // Name implements StorePlugin.
 func (c *CountStore) Name() string { return "store_count" }
 
-// Store implements StorePlugin.
+// Store implements StorePlugin. Only materialized payload bytes are
+// counted — a typed record that nothing has JSON-encoded contributes 0,
+// deliberately: forcing the encode just to count it would undo the lazy
+// plane for every overhead campaign that uses this store.
 func (c *CountStore) Store(m streams.Message) error {
 	c.mu.Lock()
 	c.count++
-	c.bytes += uint64(len(m.Data))
+	if m.Data != nil {
+		c.bytes += uint64(len(m.Data))
+	} else if r, ok := m.Record.(*event.Record); ok && r.Encoded() {
+		c.bytes += uint64(len(r.Payload()))
+	}
 	c.mu.Unlock()
 	return nil
 }
@@ -93,7 +102,9 @@ func (c *CountStore) Bytes() uint64 {
 	return c.bytes
 }
 
-// CSVStore parses connector JSON messages and writes the Fig 3 CSV layout.
+// CSVStore renders connector messages into the Fig 3 CSV layout. Typed
+// records feed the CSV writer directly from their fields; only raw JSON
+// payloads (legacy peers, PublishJSON) are parsed.
 type CSVStore struct {
 	mu     sync.Mutex
 	w      *bufio.Writer
@@ -110,7 +121,7 @@ func (s *CSVStore) Name() string { return "store_csv" }
 
 // Store implements StorePlugin.
 func (s *CSVStore) Store(m streams.Message) error {
-	msg, err := jsonmsg.Parse(m.Data)
+	msg, err := event.Fields(m)
 	if err != nil {
 		return err
 	}
@@ -137,10 +148,15 @@ func (s *CSVStore) Flush() error {
 	return s.w.Flush()
 }
 
-// DSOSStore parses connector JSON messages and inserts them into a DSOS
-// cluster (the paper's storage path).
+// DSOSStore inserts connector messages into a DSOS cluster (the paper's
+// storage path). Typed records are ingested straight from their fields —
+// the old parse-at-store hop (encode at the connector, re-parse the same
+// bytes here) is gone; raw JSON payloads still parse as before. Each
+// message's rows go down as one batch insert.
 type DSOSStore struct {
 	client *dsos.Client
+	mu     sync.Mutex
+	objs   []sos.Object // reused per-message object batch
 }
 
 // NewDSOSStore creates the store plugin over a connected client.
@@ -153,14 +169,12 @@ func (s *DSOSStore) Name() string { return "store_dsos" }
 
 // Store implements StorePlugin.
 func (s *DSOSStore) Store(m streams.Message) error {
-	msg, err := jsonmsg.Parse(m.Data)
+	msg, err := event.Fields(m)
 	if err != nil {
 		return err
 	}
-	for _, obj := range dsos.ObjectsFromMessage(msg) {
-		if err := s.client.Insert(dsos.DarshanSchemaName, obj); err != nil {
-			return err
-		}
-	}
-	return nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs = dsos.AppendObjects(s.objs[:0], msg)
+	return s.client.InsertBatch(dsos.DarshanSchemaName, s.objs)
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"darshanldms/internal/event"
 	"darshanldms/internal/streams"
 )
 
@@ -43,9 +44,10 @@ type wireMsg struct {
 	Seq      uint64 `json:"seq,omitempty"`
 }
 
-// WriteFrame writes one stream message to w.
+// WriteFrame writes one stream message to w. The wire needs bytes, so a
+// typed record is encoded here (once, cached) if nothing encoded it yet.
 func WriteFrame(w io.Writer, m streams.Message) error {
-	payload, err := json.Marshal(wireMsg{Tag: m.Tag, Type: int(m.Type), Data: m.Data, Producer: m.Producer, Seq: m.Seq})
+	payload, err := json.Marshal(wireMsg{Tag: m.Tag, Type: int(m.Type), Data: m.Payload(), Producer: m.Producer, Seq: m.Seq})
 	if err != nil {
 		return err
 	}
@@ -184,20 +186,30 @@ func (s *TCPServer) serve(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	for {
-		m, err := ReadFrame(br)
+		// One connection may interleave legacy single-message frames and
+		// batch frames; ReadAnyFrame dispatches on the leading byte.
+		msgs, err := ReadAnyFrame(br)
 		if err != nil {
 			return // EOF or protocol error: best-effort, drop the link
 		}
-		s.mu.Lock()
-		s.lastSeen = time.Now()
-		if m.Tag == HeartbeatTag {
-			s.heartbeats++
+		for _, m := range msgs {
+			s.mu.Lock()
+			s.lastSeen = time.Now()
+			if m.Tag == HeartbeatTag {
+				s.heartbeats++
+				s.mu.Unlock()
+				continue
+			}
+			s.received++
 			s.mu.Unlock()
-			continue
+			if m.Record == nil && m.Type == streams.TypeJSON && m.Data != nil {
+				// Wrap raw JSON in a bytes-first record so every store
+				// fanned out below shares one cached parse instead of
+				// re-parsing per consumer.
+				m.Record = event.FromPayload(m.Data)
+			}
+			s.d.Bus().Publish(m)
 		}
-		s.received++
-		s.mu.Unlock()
-		s.d.Bus().Publish(m)
 	}
 }
 

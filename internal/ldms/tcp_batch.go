@@ -1,0 +1,259 @@
+package ldms
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"darshanldms/internal/event"
+	"darshanldms/internal/streams"
+)
+
+// Batched TCP frames carry many stream messages in one length-prefixed
+// frame, amortizing the per-frame envelope and syscall cost. A batch
+// frame is discriminated from the legacy single-message frame by its
+// first byte: legacy frames start with the high byte of a 4-byte
+// big-endian length bounded by maxFrame (16 MiB), which is always 0x00
+// or 0x01, so batchMagic can never be confused for one. Both kinds may
+// interleave on a single connection; ReadAnyFrame dispatches per frame.
+//
+// Layout:
+//
+//	byte 0      batchMagic (0xBB)
+//	byte 1      batchVersion
+//	bytes 2..5  big-endian payload length (bounded by maxFrame)
+//	payload     uvarint record count, then per record:
+//	            kind byte (recOpaque | recTyped)
+//	            tag string, type uvarint, producer string, seq uvarint
+//	            recTyped:  compact binary record (event.AppendMessage)
+//	            recOpaque: uvarint length + payload bytes
+//
+// Typed records whose fields are materialized travel in the compact
+// binary form — no JSON is produced on either side; records that only
+// have bytes (raw publishers, lossy-encoder placeholders) travel opaque.
+const (
+	batchMagic   = 0xBB
+	batchVersion = 1
+
+	recOpaque = 0
+	recTyped  = 1
+)
+
+// minBatchRec is the smallest possible encoded record (kind byte plus
+// five single-byte envelope fields); declared counts are capped against
+// it so a hostile header cannot cause a huge preallocation.
+const minBatchRec = 6
+
+// framePool recycles batch frame scratch buffers; steady-state batching
+// does not allocate a frame buffer per flush.
+var framePool event.BufferPool
+
+// FramePoolCounters exposes the scratch buffer pool's Get/Put counts for
+// leak assertions in tests.
+func FramePoolCounters() (gets, puts uint64) { return framePool.Counters() }
+
+// appendBatchString appends a length-prefixed string.
+func appendBatchString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendBatch appends the batch payload (count + records, no frame
+// header) for msgs to b and returns the extended slice.
+func AppendBatch(b []byte, msgs []streams.Message) []byte {
+	b = binary.AppendUvarint(b, uint64(len(msgs)))
+	for i := range msgs {
+		m := &msgs[i]
+		var typed *event.Record
+		if r, ok := m.Record.(*event.Record); ok {
+			typed = r
+		}
+		if typed != nil && typed.TypedFields() != nil {
+			b = append(b, recTyped)
+			b = appendBatchString(b, m.Tag)
+			b = binary.AppendUvarint(b, uint64(m.Type))
+			b = appendBatchString(b, m.Producer)
+			b = binary.AppendUvarint(b, m.Seq)
+			b = event.AppendMessage(b, typed.TypedFields())
+			continue
+		}
+		b = append(b, recOpaque)
+		b = appendBatchString(b, m.Tag)
+		b = binary.AppendUvarint(b, uint64(m.Type))
+		b = appendBatchString(b, m.Producer)
+		b = binary.AppendUvarint(b, m.Seq)
+		payload := m.Payload()
+		b = binary.AppendUvarint(b, uint64(len(payload)))
+		b = append(b, payload...)
+	}
+	return b
+}
+
+// WriteBatchFrame writes msgs as one batch frame. An empty batch is
+// rejected, mirroring WriteFrame's zero-length rule.
+func WriteBatchFrame(w io.Writer, msgs []streams.Message) error {
+	if len(msgs) == 0 {
+		return errors.New("ldms: empty batch frame")
+	}
+	buf := framePool.Get()
+	defer func() { framePool.Put(buf) }()
+	buf = append(buf, batchMagic, batchVersion, 0, 0, 0, 0)
+	buf = AppendBatch(buf, msgs)
+	payloadLen := len(buf) - 6
+	if payloadLen > maxFrame {
+		return fmt.Errorf("ldms: batch frame too large (%d bytes)", payloadLen)
+	}
+	binary.BigEndian.PutUint32(buf[2:6], uint32(payloadLen))
+	_, err := w.Write(buf)
+	return err
+}
+
+// DecodeBatch parses a batch payload (as laid out by AppendBatch) into
+// stream messages. Received typed records become typed-first
+// event.Records (their JSON is produced lazily, if ever); opaque records
+// become bytes-first event.Records so downstream consumers share one
+// cached parse.
+func DecodeBatch(payload []byte) ([]streams.Message, error) {
+	off := 0
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(payload[off:])
+		if n <= 0 {
+			return 0, event.ErrTruncated
+		}
+		off += n
+		return v, nil
+	}
+	str := func() (string, error) {
+		n, err := uvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(len(payload)-off) {
+			return "", event.ErrTruncated
+		}
+		s := string(payload[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+	count, err := uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, errors.New("ldms: empty batch frame")
+	}
+	if count > uint64(len(payload)-off)/minBatchRec+1 {
+		return nil, fmt.Errorf("ldms: batch declares %d records in %d bytes", count, len(payload))
+	}
+	out := make([]streams.Message, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if off >= len(payload) {
+			return nil, event.ErrTruncated
+		}
+		kind := payload[off]
+		off++
+		var m streams.Message
+		if m.Tag, err = str(); err != nil {
+			return nil, err
+		}
+		typ, err := uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m.Type = streams.MsgType(typ)
+		if m.Producer, err = str(); err != nil {
+			return nil, err
+		}
+		if m.Seq, err = uvarint(); err != nil {
+			return nil, err
+		}
+		switch kind {
+		case recTyped:
+			msg, n, err := event.DecodeMessage(payload[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += n
+			m.Record = event.NewRecord(msg, nil)
+		case recOpaque:
+			n, err := uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > uint64(len(payload)-off) {
+				return nil, event.ErrTruncated
+			}
+			m.Data = append([]byte(nil), payload[off:off+int(n)]...)
+			off += int(n)
+			if m.Type == streams.TypeJSON && n > 0 {
+				m.Record = event.FromPayload(m.Data)
+			}
+		default:
+			return nil, fmt.Errorf("ldms: unknown batch record kind %d", kind)
+		}
+		out = append(out, m)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("ldms: %d trailing bytes after batch", len(payload)-off)
+	}
+	return out, nil
+}
+
+// ReadBatchFrame reads one batch frame (the magic byte has already been
+// peeked, not consumed).
+func ReadBatchFrame(r io.Reader) ([]streams.Message, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != batchMagic {
+		return nil, fmt.Errorf("ldms: not a batch frame (0x%02x)", hdr[0])
+	}
+	if hdr[1] != batchVersion {
+		return nil, fmt.Errorf("ldms: unsupported batch version %d", hdr[1])
+	}
+	n := binary.BigEndian.Uint32(hdr[2:6])
+	if n == 0 {
+		return nil, errors.New("ldms: zero-length batch frame")
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("ldms: oversized batch frame (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return DecodeBatch(payload)
+}
+
+// ReadAnyFrame reads the next frame, legacy or batch, returning its
+// messages. It needs a *bufio.Reader to peek the discriminating byte.
+func ReadAnyFrame(br *bufio.Reader) ([]streams.Message, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] == batchMagic {
+		return ReadBatchFrame(br)
+	}
+	m, err := ReadFrame(br)
+	if err != nil {
+		return nil, err
+	}
+	return []streams.Message{m}, nil
+}
+
+// PublishBatch sends msgs as a single batch frame.
+func (c *TCPClient) PublishBatch(msgs []streams.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return errors.New("ldms: client closed")
+	}
+	if err := WriteBatchFrame(c.bw, msgs); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

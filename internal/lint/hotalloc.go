@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+var hotallocCheck = &Check{
+	Name: "hotalloc",
+	Doc:  "no fmt.Sprintf on the per-event hot path (connector, event, jsonmsg, ldms)",
+	Run:  runHotalloc,
+}
+
+// hotPathPaths are the packages on the per-event fast path: every Darshan
+// event the connector emits passes through them, so a fmt.Sprintf there
+// costs an interface boxing plus a string allocation *per event* — the
+// exact overhead the paper measures as the sprintf-encoder ablation
+// (Table IIc) and the lazy message plane exists to avoid. Matching is by
+// whole path segment, like ZoneFor.
+var hotPathPaths = []string{
+	"internal/connector",
+	"internal/event",
+	"internal/jsonmsg",
+	"internal/ldms",
+}
+
+// hotPathDirective is how a package outside hotPathPaths (fixtures) forces
+// hot-path treatment.
+const hotPathDirective = "//lint:hotpath"
+
+// coldMethodNames are formatting methods that exist *for* human-readable
+// output and run off the hot path (debug strings, flag help, error text).
+// Sprintf inside them is idiomatic, not a leak.
+var coldMethodNames = map[string]bool{
+	"String": true,
+	"Name":   true,
+	"Error":  true,
+}
+
+func isHotPath(pkg *Package) bool {
+	for _, p := range hotPathPaths {
+		if pkg.RelPath == p || strings.HasPrefix(pkg.RelPath, p+"/") {
+			return true
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if c.Text == hotPathDirective {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// funcAllowsHotalloc reports whether the function's doc comment carries a
+// //lint:allow hotalloc directive (with a reason). The per-line allow
+// table cannot express "this whole function is the deliberate ablation" —
+// the sprintf encoder is 20+ flagged lines that are the point of the
+// experiment — so hotalloc honors a single function-level suppression on
+// the declaration's doc comment.
+func funcAllowsHotalloc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) >= 2 && fields[0] == "hotalloc" {
+			return true
+		}
+	}
+	return false
+}
+
+// runHotalloc flags fmt.Sprintf call sites in hot-path packages, skipping
+// cold formatting methods (String/Name/Error) and functions whose doc
+// comment carries //lint:allow hotalloc <reason>.
+func runHotalloc(p *Pass) {
+	if !isHotPath(p.Package) {
+		return
+	}
+	for _, file := range p.Files {
+		f := file
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && (coldMethodNames[fd.Name.Name] || funcAllowsHotalloc(fd)) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, ok := p.IsPkgCall(f, call, "fmt", "Sprintf"); !ok {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"build with append/strconv or a pooled buffer; //lint:allow hotalloc <reason> for a deliberate ablation",
+					"fmt.Sprintf on the per-event hot path allocates per call")
+				return true
+			})
+		}
+	}
+}

@@ -11,7 +11,7 @@
 // The module is split into two zones:
 //
 //   - the deterministic sim zone (internal/sim, mpi, simfs, cluster,
-//     connector, darshan, streams, dsos, stats, analysis, harness), where
+//     connector, darshan, event, streams, dsos, stats, analysis, harness), where
 //     wall-clock reads are banned outright, and
 //   - the real zone (internal/ldms TCP/resilient transport, faults'
 //     tcpproxy, replay, webui, cmd/*, examples), which talks to actual
@@ -68,6 +68,7 @@ var simZonePaths = []string{
 	"internal/cluster",
 	"internal/connector",
 	"internal/darshan",
+	"internal/event",
 	"internal/streams",
 	"internal/dsos",
 	"internal/stats",
@@ -254,6 +255,7 @@ func Checks() []*Check {
 		maporderCheck,
 		lockheldCheck,
 		puberrCheck,
+		hotallocCheck,
 	}
 }
 

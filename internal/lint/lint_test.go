@@ -75,7 +75,7 @@ func wantedFindings(t *testing.T, dir string) map[string]bool {
 // fixture asserts zero findings; the others each force their check to fire
 // and exercise suppression.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr", "clean"}
+	fixtures := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr", "hotalloc", "clean"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
@@ -196,7 +196,7 @@ func TestFindingJSONAndString(t *testing.T) {
 
 func TestCheckSuite(t *testing.T) {
 	names := CheckNames()
-	want := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr"}
+	want := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr", "hotalloc"}
 	if len(names) != len(want) {
 		t.Fatalf("suite = %v, want %v", names, want)
 	}

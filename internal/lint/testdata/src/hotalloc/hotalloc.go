@@ -1,0 +1,49 @@
+// Package hotalloc is a known-bad fixture for the hotalloc check.
+//
+//lint:hotpath
+package hotalloc
+
+import "fmt"
+
+// Event stands in for the per-event record flowing through the hot path.
+type Event struct {
+	Rank int
+	Op   string
+}
+
+// Encode is hot-path code: Sprintf here allocates per event.
+func Encode(e *Event) string {
+	header := fmt.Sprintf("rank=%d", e.Rank) // want hotalloc
+	return header + "," + e.Op
+}
+
+// EncodeSuppressed shows the per-line escape hatch.
+func EncodeSuppressed(e *Event) string {
+	//lint:allow hotalloc measured: not on the steady-state path
+	return fmt.Sprintf("rank=%d", e.Rank)
+}
+
+// EncodeAblation is the deliberate sprintf ablation: the function-level
+// doc directive suppresses every call site in the body.
+//
+//lint:allow hotalloc deliberate sprintf-encoder ablation (Table IIc)
+func EncodeAblation(e *Event) string {
+	a := fmt.Sprintf("rank=%d", e.Rank)
+	b := fmt.Sprintf("op=%q", e.Op)
+	return a + "," + b
+}
+
+// String is a cold debug formatter: never flagged.
+func (e *Event) String() string {
+	return fmt.Sprintf("event(rank=%d op=%s)", e.Rank, e.Op)
+}
+
+// Name is a cold identity formatter: never flagged.
+func (e *Event) Name() string {
+	return fmt.Sprintf("event-%d", e.Rank)
+}
+
+// Fprintf-family calls that do not Sprintf are out of scope.
+func Describe(e *Event) (int, error) {
+	return fmt.Println(e.Op)
+}

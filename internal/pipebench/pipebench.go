@@ -1,0 +1,246 @@
+// Package pipebench measures the real (wall-clock) throughput of the
+// connector→store message plane in three shapes:
+//
+//   - legacy: the pre-typed pipeline — JSON is encoded eagerly at the
+//     connector, re-parsed at the store, and each row is inserted
+//     individually (the parse-at-store hop this refactor deleted);
+//   - typed: the lazy message plane — one typed record flows end to end,
+//     no JSON is ever produced, rows are batch-inserted;
+//   - typed-batch: typed records additionally cross an in-memory wire via
+//     the batched TCP frame codec (compact binary, no JSON) before ingest.
+//
+// Unlike every other panel, these numbers are wall-clock and host-
+// dependent, so the pipeline panel is excluded from `-only all` and its
+// JSON artifact is a sample, not a golden file. The *simulated* overhead
+// charged to ranks (Encoder.SimCost) is untouched by this refactor —
+// pipebench exists to show the real-machine win, the seeded tables prove
+// the determinism contract held.
+package pipebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/event"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/ldms"
+	"darshanldms/internal/rng"
+	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
+)
+
+// Result is one pipeline shape's measured throughput (best of reps).
+type Result struct {
+	Mode           string  `json:"mode"`
+	Events         int     `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// Report is the full benchmark output written to BENCH_pipeline.json.
+type Report struct {
+	Seed         uint64   `json:"seed"`
+	Events       int      `json:"events"`
+	Reps         int      `json:"reps"`
+	Results      []Result `json:"results"`
+	SpeedupTyped float64  `json:"speedup_typed_vs_legacy"`
+	SpeedupBatch float64  `json:"speedup_typed_batch_vs_legacy"`
+}
+
+// genMessages builds the seeded event stream every mode consumes: the
+// connector's Table I shape with Quant6-quantized floats, exactly what
+// FromEvent emits.
+func genMessages(seed uint64, n int) []*jsonmsg.Message {
+	r := rng.New(seed)
+	ops := []string{"write", "read", "open", "close"}
+	msgs := make([]*jsonmsg.Message, 0, n)
+	for i := 0; i < n; i++ {
+		msgs = append(msgs, &jsonmsg.Message{
+			UID: 99066, Exe: "/projects/hacc/hacc-io", JobID: int64(1 + r.Intn(3)),
+			Rank: r.Intn(64), ProducerName: "nid00040", File: "/lscratch/out.dat",
+			RecordID: uint64(r.Intn(16)), Module: "POSIX", Type: jsonmsg.TypeMOD,
+			MaxByte: int64(r.Intn(1 << 24)), Switches: int64(r.Intn(2)),
+			Flushes: int64(r.Intn(3)), Cnt: 1, Op: ops[r.Intn(len(ops))],
+			Seg: []jsonmsg.Segment{{
+				DataSet: jsonmsg.NA, PtSel: -1, IrregHSlab: -1, RegHSlab: -1,
+				NDims: -1, NPoints: -1, Off: int64(i) * 4096, Len: int64(4096 * (1 + r.Intn(4))),
+				Dur:       jsonmsg.Quant6(r.Float64() * 0.01),
+				Timestamp: jsonmsg.Quant6(1.6e9 + float64(i)*0.25 + r.Float64()),
+			}},
+			Seq: uint64(i + 1),
+		})
+	}
+	return msgs
+}
+
+func newSink() (*dsos.Client, error) {
+	c := dsos.NewCluster(4, "darshan_data")
+	if err := dsos.SetupDarshan(c); err != nil {
+		return nil, err
+	}
+	return dsos.Connect(c), nil
+}
+
+// runLegacy is the deleted pipeline, reconstructed inline for comparison:
+// eager encode at the connector, jsonmsg.Parse at the store, one Insert
+// per row.
+func runLegacy(msgs []*jsonmsg.Message, cl *dsos.Client) error {
+	enc := jsonmsg.FastEncoder{}
+	for _, m := range msgs {
+		payload := enc.Encode(m)
+		parsed, err := jsonmsg.Parse(payload)
+		if err != nil {
+			return err
+		}
+		for _, obj := range dsos.ObjectsFromMessage(parsed) {
+			if err := cl.Insert(dsos.DarshanSchemaName, obj); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runTyped is the lazy message plane: record construction, typed field
+// access, reusable object scratch, batch insert. No JSON is produced.
+func runTyped(msgs []*jsonmsg.Message, cl *dsos.Client) error {
+	var objs []sos.Object
+	for _, m := range msgs {
+		r := event.NewRecord(m, jsonmsg.FastEncoder{})
+		fields, err := r.Fields()
+		if err != nil {
+			return err
+		}
+		objs = dsos.AppendObjects(objs[:0], fields)
+		if err := cl.InsertBatch(dsos.DarshanSchemaName, objs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTypedBatch additionally pushes every record through the batched TCP
+// frame codec (encode + decode in memory) before ingest, measuring the
+// full wire-crossing typed path.
+func runTypedBatch(msgs []*jsonmsg.Message, cl *dsos.Client, batchSize int) error {
+	var objs []sos.Object
+	var wire []byte
+	batch := make([]streams.Message, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		wire = ldms.AppendBatch(wire[:0], batch)
+		decoded, err := ldms.DecodeBatch(wire)
+		if err != nil {
+			return err
+		}
+		for _, dm := range decoded {
+			fields, err := event.Fields(dm)
+			if err != nil {
+				return err
+			}
+			objs = dsos.AppendObjects(objs[:0], fields)
+			if err := cl.InsertBatch(dsos.DarshanSchemaName, objs); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, m := range msgs {
+		batch = append(batch, streams.Message{
+			Tag: dsos.DarshanSchemaName, Type: streams.TypeJSON,
+			Record:   event.NewRecord(m, jsonmsg.FastEncoder{}),
+			Producer: m.ProducerName, Seq: m.Seq,
+		})
+		if len(batch) == batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// measure times one mode over reps runs against fresh sinks and returns
+// the best (lowest ns/event) rep — standard microbenchmark practice to
+// shed scheduler noise.
+func measure(mode string, msgs []*jsonmsg.Message, reps int, run func([]*jsonmsg.Message, *dsos.Client) error) (Result, error) {
+	best := Result{Mode: mode, Events: len(msgs)}
+	for rep := 0; rep < reps; rep++ {
+		cl, err := newSink()
+		if err != nil {
+			return best, err
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := run(msgs, cl); err != nil {
+			return best, fmt.Errorf("%s: %w", mode, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		ns := float64(elapsed.Nanoseconds()) / float64(len(msgs))
+		if best.NsPerEvent == 0 || ns < best.NsPerEvent {
+			best.NsPerEvent = ns
+			best.EventsPerSec = 1e9 / ns
+			best.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(len(msgs))
+		}
+	}
+	return best, nil
+}
+
+// Run benchmarks all three pipeline shapes over the same seeded stream.
+func Run(seed uint64, events, reps, batchSize int) (*Report, error) {
+	msgs := genMessages(seed, events)
+	rep := &Report{Seed: seed, Events: events, Reps: reps}
+
+	legacy, err := measure("legacy-encode-reparse", msgs, reps, runLegacy)
+	if err != nil {
+		return nil, err
+	}
+	typed, err := measure("typed-lazy", msgs, reps, runTyped)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := measure("typed-batch-wire", msgs, reps,
+		func(ms []*jsonmsg.Message, cl *dsos.Client) error { return runTypedBatch(ms, cl, batchSize) })
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = []Result{legacy, typed, batch}
+	rep.SpeedupTyped = typed.EventsPerSec / legacy.EventsPerSec
+	rep.SpeedupBatch = batch.EventsPerSec / legacy.EventsPerSec
+	return rep, nil
+}
+
+// Render formats the report as the pipeline panel.
+func Render(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipeline throughput: connector->DSOS message plane (%d events, best of %d reps)\n", r.Events, r.Reps)
+	fmt.Fprintf(&b, "%-24s %14s %12s %14s\n", "mode", "events/sec", "ns/event", "allocs/event")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-24s %14.0f %12.0f %14.1f\n",
+			res.Mode, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent)
+	}
+	fmt.Fprintf(&b, "speedup typed-lazy vs legacy:       %.2fx\n", r.SpeedupTyped)
+	fmt.Fprintf(&b, "speedup typed-batch-wire vs legacy: %.2fx\n", r.SpeedupBatch)
+	return b.String()
+}
+
+// WriteJSON writes the report to path.
+func WriteJSON(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,74 @@
+package pipebench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+)
+
+// TestRunSmoke exercises all three pipeline shapes on a small stream. It
+// asserts correctness properties only — the ≥3x speedup gate lives in
+// `make bench-smoke`, where the stream is large enough for stable timing.
+func TestRunSmoke(t *testing.T) {
+	r, err := Run(2022, 2000, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(r.Results))
+	}
+	for _, res := range r.Results {
+		if res.EventsPerSec <= 0 || res.NsPerEvent <= 0 {
+			t.Fatalf("%s: degenerate measurement: %+v", res.Mode, res)
+		}
+	}
+	if r.SpeedupTyped <= 0 || r.SpeedupBatch <= 0 {
+		t.Fatalf("degenerate speedups: %+v", r)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	if err := WriteJSON(path, r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Events != 2000 || len(back.Results) != 3 {
+		t.Fatalf("artifact round trip lost data: %+v", back)
+	}
+}
+
+// TestModesIngestIdenticalRows pins that all three shapes store the same
+// number of rows from the same seeded stream (value identity is pinned by
+// the dsos golden ingest test).
+func TestModesIngestIdenticalRows(t *testing.T) {
+	msgs := genMessages(7, 500)
+	modes := map[string]func([]*jsonmsg.Message, *dsos.Client) error{
+		"legacy": runLegacy,
+		"typed":  runTyped,
+		"batch": func(ms []*jsonmsg.Message, cl *dsos.Client) error {
+			return runTypedBatch(ms, cl, 8)
+		},
+	}
+	for _, name := range []string{"legacy", "typed", "batch"} {
+		cl, err := newSink()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := modes[name](msgs, cl); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := cl.Count(dsos.DarshanSchemaName); got != 500 {
+			t.Fatalf("%s stored %d rows, want 500", name, got)
+		}
+	}
+}

@@ -31,6 +31,14 @@ func (t MsgType) String() string {
 	return "string"
 }
 
+// Carrier is a lazily encoded payload: a typed record that can produce
+// its wire bytes on demand, caching them so the encode happens at most
+// once. *event.Record is the canonical implementation; the bus itself
+// stays payload-agnostic and never forces the encode.
+type Carrier interface {
+	Payload() []byte
+}
+
 // Message is one published stream message. Producer and Seq, when set,
 // form the message's delivery identity: the connector stamps each message
 // with its producer (node) name and a per-producer sequence number so
@@ -38,12 +46,33 @@ func (t MsgType) String() string {
 // forwarder re-sending its spool) without inspecting the payload. They
 // ride alongside the payload — the JSON bytes the paper specifies are
 // unchanged — and are zero for messages published without stamping.
+//
+// A message carries its payload one of two ways: Data holds literal bytes
+// (the legacy eager form, still used by PublishJSON/PublishString and raw
+// TCP frames), while Record holds a typed record that encodes lazily at
+// the first text boundary that needs bytes. Consumers that only need the
+// wire bytes call Payload(); consumers that need fields use the typed
+// record directly (see internal/event.Fields) and never pay for JSON.
 type Message struct {
 	Tag      string
 	Type     MsgType
 	Data     []byte
+	Record   Carrier
 	Producer string
 	Seq      uint64
+}
+
+// Payload returns the message's encoded bytes: the literal Data when set,
+// otherwise the (cached, encoded-at-most-once) bytes of the typed record.
+// A nil return means the message carries no payload at all.
+func (m Message) Payload() []byte {
+	if m.Data != nil {
+		return m.Data
+	}
+	if m.Record != nil {
+		return m.Record.Payload()
+	}
+	return nil
 }
 
 // Handler consumes delivered messages.

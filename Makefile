@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test check chaos-smoke fuzz-smoke bench bench-smoke bench-full experiments examples clean
+.PHONY: all build vet lint test check chaos-smoke fuzz-smoke fuzz-corpus cover determinism-smoke bench bench-smoke bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -34,14 +34,52 @@ check:
 chaos-smoke:
 	$(GO) test -race -run ChaosSoak ./internal/harness
 
-# Short fuzz pass over every parser-hardening target (CI runs this too).
+# Every parser-hardening fuzz target as package:Target pairs. fuzz-smoke
+# (local and in CI) iterates this list, and each target loads its checked-in
+# seed corpus from <package>/testdata/fuzz/<Target>/ (regenerate with
+# `make fuzz-corpus`). Adding a pair here is the single step to get a new
+# target fuzzed everywhere.
+FUZZ_TARGETS ?= \
+	internal/darshanlog:FuzzRead \
+	internal/jsonmsg:FuzzParse \
+	internal/ldms:FuzzReadFrame \
+	internal/ldms:FuzzReadBatchFrame \
+	internal/sos:FuzzRestore
+
+# Short fuzz pass over every target in FUZZ_TARGETS (CI runs this too).
 FUZZTIME ?= 10s
 fuzz-smoke:
-	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime $(FUZZTIME) ./internal/darshanlog
-	$(GO) test -run='^$$' -fuzz='FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/jsonmsg
-	$(GO) test -run='^$$' -fuzz='FuzzReadFrame$$' -fuzztime $(FUZZTIME) ./internal/ldms
-	$(GO) test -run='^$$' -fuzz='FuzzReadBatchFrame$$' -fuzztime $(FUZZTIME) ./internal/ldms
-	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime $(FUZZTIME) ./internal/sos
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "== fuzz $$target ./$$pkg"; \
+		$(GO) test -run='^$$' -fuzz="^$$target\$$" -fuzztime $(FUZZTIME) ./$$pkg; \
+	done
+
+# Regenerate the checked-in fuzz seed corpora (deterministic; diffable).
+fuzz-corpus:
+	$(GO) run ./cmd/dlc-fuzzcorpus -root .
+
+# Statement coverage with a ratchet: fail if the total drops more than
+# 0.5pt below the checked-in floor (ci/coverage.floor). Raise the floor
+# when coverage durably improves; never lower it to make CI pass.
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat ci/coverage.floor); \
+	echo "total statement coverage: $$total% (floor $$floor%)"; \
+	awk -v t=$$total -v f=$$floor 'BEGIN { if (t + 0.5 < f) { \
+		printf "coverage ratchet: %.1f%% is more than 0.5pt below the %.1f%% floor\n", t, f; exit 1 } }'
+
+# Telemetry must not perturb results: the same seeded reduced-scale
+# campaign, run with telemetry off and then on, must produce byte-identical
+# tables and figures (CI diffs the two output trees on every PR).
+DETDIR ?= /tmp/dlc-determinism
+determinism-smoke:
+	rm -rf $(DETDIR)
+	$(GO) run ./cmd/dlc-experiments -seed 2022 -reps 1 -scale 0.05 -out $(DETDIR)/off
+	$(GO) run ./cmd/dlc-experiments -seed 2022 -reps 1 -scale 0.05 -telemetry -out $(DETDIR)/on
+	diff -r $(DETDIR)/off $(DETDIR)/on
+	@echo "determinism: telemetry-on outputs are byte-identical"
 
 # Scaled-down benchmarks: one per table/figure plus pipeline microbenches.
 bench:

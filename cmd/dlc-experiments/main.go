@@ -20,7 +20,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"darshanldms/internal/apps"
 	"darshanldms/internal/harness"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/pipebench"
 	"darshanldms/internal/simfs"
 	"darshanldms/internal/webui"
@@ -35,7 +38,12 @@ func main() {
 	bins := flag.Int("bins", 24, "time bins for Figure 9")
 	benchEvents := flag.Int("bench-events", 50_000, "events per pipeline benchmark rep")
 	benchBatch := flag.Int("bench-batch", 32, "records per batch frame in the pipeline benchmark")
+	telemetry := flag.Bool("telemetry", false, "enable per-event span tracing and dump a pipeline telemetry snapshot to stderr; the generated tables and figures are bit-identical either way (CI diffs the two modes)")
 	flag.Parse()
+
+	if *telemetry {
+		obs.SetTracing(true)
+	}
 
 	want := map[string]bool{}
 	if *only == "all" {
@@ -227,6 +235,26 @@ func main() {
 			}
 			emitSVG("figure9", webui.RenderTimeline(ts))
 		}
+	}
+
+	if *telemetry {
+		// Instrumented probe run: the per-stage snapshot goes to stderr
+		// only, never into -out, so golden outputs stay byte-identical.
+		reg := obs.NewRegistry()
+		res, err := harness.Run(harness.RunOptions{
+			Seed: *seed, JobID: 1, UID: 99066, Exe: "/bin/probe", FSKind: simfs.Lustre,
+			Connector: true, Encoder: jsonmsg.FastEncoder{}, Telemetry: reg,
+			App: func(env apps.Env) {
+				cfg := apps.DefaultHACCIO(env.M.Nodes()[:2], 50_000)
+				cfg.RanksPerNode = 4
+				apps.RunHACCIO(env, cfg)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry probe: %d events, %d messages\n", res.Events, res.Messages)
+		fmt.Fprint(os.Stderr, obs.RenderSamples(reg.Snapshot()))
 	}
 }
 

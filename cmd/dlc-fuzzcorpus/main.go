@@ -1,0 +1,217 @@
+// dlc-fuzzcorpus regenerates the checked-in fuzz seed corpora under each
+// package's testdata/fuzz/<Target>/ directory, in the `go test fuzz v1`
+// file format the Go fuzzer loads automatically. The seeds complement the
+// in-code f.Add cases with serialized hostile inputs: truncated envelopes,
+// flipped checksum bytes, implausible declared counts, hostile varints.
+//
+// Usage:
+//
+//	dlc-fuzzcorpus [-root .]
+//
+// The tool is deterministic: running it twice produces identical files, so
+// the corpora can be diffed like any other golden output.
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/darshanlog"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/ldms"
+	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root (corpora land under <root>/internal/...)")
+	flag.Parse()
+
+	n := 0
+	write := func(pkg, target, name string, data []byte) {
+		dir := filepath.Join(*root, pkg, "testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fatal(err)
+		}
+		n++
+	}
+
+	// --- darshanlog.FuzzRead: binary log parser ---
+	log := "internal/darshanlog"
+	valid := validLog()
+	write(log, "FuzzRead", "valid-log", valid)
+	write(log, "FuzzRead", "truncated-gzip-body", valid[:len(valid)*3/4])
+	crc := corrupt(valid, len(valid)-6) // inside the gzip CRC32/ISIZE trailer
+	write(log, "FuzzRead", "bad-gzip-crc", crc)
+	// A well-formed gzip envelope whose payload is all 0xFF: the varint
+	// decoder sees maximal continuation bytes and implausible counts.
+	write(log, "FuzzRead", "hostile-varint-payload",
+		gzipEnvelope(darshanlog.Magic, bytes.Repeat([]byte{0xFF}, 64)))
+	write(log, "FuzzRead", "empty-gzip-payload", gzipEnvelope(darshanlog.Magic, nil))
+
+	// --- jsonmsg.FuzzParse: store-side JSON parser ---
+	jm := "internal/jsonmsg"
+	m := sampleJSONMsg()
+	enc := jsonmsg.FastEncoder{}.Encode(&m)
+	write(jm, "FuzzParse", "valid-message", enc)
+	write(jm, "FuzzParse", "truncated-message", enc[:len(enc)/2])
+	write(jm, "FuzzParse", "deep-nesting",
+		append(append(bytes.Repeat([]byte(`{"seg":[`), 64), '1'), bytes.Repeat([]byte(`]}`), 64)...))
+	write(jm, "FuzzParse", "huge-number", []byte(`{"uid":1`+string(bytes.Repeat([]byte("0"), 400))+`}`))
+	write(jm, "FuzzParse", "duplicate-keys", []byte(`{"module":"POSIX","module":"MPIIO","seg":[{"off":1,"off":2}]}`))
+	write(jm, "FuzzParse", "nul-and-invalid-utf8", []byte("{\"file\":\"\x00\xff\xfe\",\"module\":\"POSIX\"}"))
+
+	// --- ldms.FuzzReadFrame: legacy single-message framing ---
+	lp := "internal/ldms"
+	var frame bytes.Buffer
+	if err := ldms.WriteFrame(&frame, streams.Message{
+		Tag: "darshanConnector", Type: streams.TypeJSON, Data: enc, Producer: "nid00046", Seq: 7,
+	}); err != nil {
+		fatal(err)
+	}
+	write(lp, "FuzzReadFrame", "valid-json-frame", frame.Bytes())
+	write(lp, "FuzzReadFrame", "truncated-frame", frame.Bytes()[:len(frame.Bytes())/2])
+	write(lp, "FuzzReadFrame", "oversized-declared-length",
+		append([]byte{0xFF, 0xFF, 0xFF, 0x00}, frame.Bytes()[4:]...))
+	var sframe bytes.Buffer
+	if err := ldms.WriteFrame(&sframe, streams.Message{Tag: "t", Type: streams.TypeString, Data: []byte("x")}); err != nil {
+		fatal(err)
+	}
+	write(lp, "FuzzReadFrame", "string-frame", sframe.Bytes())
+
+	// --- ldms.FuzzReadBatchFrame: typed batch framing ---
+	var batch bytes.Buffer
+	if err := ldms.WriteBatchFrame(&batch, []streams.Message{
+		{Tag: "darshanConnector", Type: streams.TypeJSON, Data: enc, Producer: "nid00046", Seq: 1},
+		{Tag: "darshanConnector", Type: streams.TypeJSON, Data: enc, Producer: "nid00046", Seq: 2},
+		{Tag: "s", Type: streams.TypeString, Data: []byte("meta")},
+	}); err != nil {
+		fatal(err)
+	}
+	b := batch.Bytes()
+	write(lp, "FuzzReadBatchFrame", "valid-batch", b)
+	write(lp, "FuzzReadBatchFrame", "truncated-batch", b[:len(b)/2])
+	// Keep the magic+version+length header, replace the body with maximal
+	// varint continuation bytes: a hostile declared record count.
+	write(lp, "FuzzReadBatchFrame", "hostile-count-varint",
+		append(append([]byte{}, b[:6]...), bytes.Repeat([]byte{0xFF}, 16)...))
+	write(lp, "FuzzReadBatchFrame", "corrupt-body", corrupt(b, len(b)/2))
+	// ReadAnyFrame also accepts the legacy framing; seed that path too.
+	write(lp, "FuzzReadBatchFrame", "legacy-frame", frame.Bytes())
+
+	// --- sos.FuzzRestore: container snapshot parser ---
+	sp := "internal/sos"
+	snap := validSnapshot()
+	write(sp, "FuzzRestore", "valid-snapshot", snap)
+	write(sp, "FuzzRestore", "truncated-snapshot", snap[:len(snap)/2])
+	write(sp, "FuzzRestore", "corrupt-header", corrupt(snap, 16))
+	write(sp, "FuzzRestore", "corrupt-tail", corrupt(snap, len(snap)-4))
+	write(sp, "FuzzRestore", "hostile-count-region",
+		append(append([]byte{}, snap[:16]...), bytes.Repeat([]byte{0xFF}, 32)...))
+
+	fmt.Fprintf(os.Stderr, "dlc-fuzzcorpus: wrote %d seed files under %s\n", n, *root)
+}
+
+// corrupt returns a copy of data with the byte at i inverted.
+func corrupt(data []byte, i int) []byte {
+	out := append([]byte{}, data...)
+	out[i] ^= 0xFF
+	return out
+}
+
+// gzipEnvelope wraps payload in the log container framing (magic,
+// version 1, gzip body) so the seed reaches the inner decoder.
+func gzipEnvelope(magic string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.Write([]byte{1, 0, 0, 0}) // version, little-endian uint32
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(payload); err != nil {
+		fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func validLog() []byte {
+	sum := &darshan.Summary{
+		JobID: 259903, UID: 99066, Exe: "/home/user/mpi-io-test",
+		Start: 0, End: 90 * time.Second, NProcs: 4, Events: 123,
+		Records: []*darshan.Record{{
+			Module: darshan.ModPOSIX, RecordID: darshan.RecordID("/nscratch/a"), Rank: 0,
+			File: "/nscratch/a", Opens: 2, Closes: 2, Reads: 5, Writes: 10,
+			BytesRead: 5 << 20, BytesWritten: 10 << 20, MaxByteWritten: 10<<20 - 1,
+		}},
+	}
+	dxt := []darshan.DXTTrace{{
+		Module: darshan.ModPOSIX, Rank: 0, RecordID: darshan.RecordID("/nscratch/a"),
+		Segments: []darshan.DXTSegment{
+			{Op: darshan.OpOpen, Start: time.Second, End: time.Second + time.Millisecond},
+			{Op: darshan.OpWrite, Offset: 0, Length: 1 << 20, Start: 2 * time.Second, End: 3 * time.Second},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := darshanlog.Write(&buf, sum, dxt); err != nil {
+		fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func sampleJSONMsg() jsonmsg.Message {
+	return jsonmsg.Message{
+		UID: 99066, Exe: "/projects/mpi-io-test", JobID: 259903, Rank: 3,
+		ProducerName: "nid00046", File: "/nscratch/mpi-io-test.dat",
+		RecordID: 1601543006480900062 % (1 << 62), Module: "POSIX", Type: jsonmsg.TypeMET,
+		MaxByte: -1, Switches: -1, Flushes: -1, Cnt: 1, Op: "open",
+		Seg: []jsonmsg.Segment{{
+			DataSet: jsonmsg.NA, PtSel: -1, IrregHSlab: -1, RegHSlab: -1, NDims: -1,
+			NPoints: -1, Off: 0, Len: 16 << 20, Dur: 0.35, Timestamp: jsonmsg.EpochBase + 12.5,
+		}},
+	}
+}
+
+func validSnapshot() []byte {
+	c := sos.NewContainer("fz")
+	sch, err := sos.NewSchema("ev", []sos.AttrSpec{
+		{Name: "job_id", Type: sos.TypeInt64},
+		{Name: "name", Type: sos.TypeString},
+		{Name: "v", Type: sos.TypeFloat64},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.AddSchema(sch); err != nil {
+		fatal(err)
+	}
+	if _, err := c.AddIndex(sos.IndexSpec{Name: "j", Schema: "ev", Attrs: []string{"job_id"}}); err != nil {
+		fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Insert("ev", sos.Object{int64(i), "x", float64(i)}); err != nil {
+			fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Snapshot(&buf); err != nil {
+		fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlc-fuzzcorpus:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	"darshanldms/internal/dsos"
 	"darshanldms/internal/harness"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/replay"
 	"darshanldms/internal/sos"
 	"darshanldms/internal/webui"
@@ -60,6 +61,11 @@ func main() {
 			client.Count(dsos.DarshanSchemaName), len(camp.JobIDs))
 	}
 
+	// Pipeline telemetry behind the dashboard's health panel and /metrics.
+	reg := obs.NewRegistry()
+	clock := obs.WallClock()
+	ldms.CollectPools(reg)
+
 	if *replaySpeed > 0 {
 		// Serve a fresh store and stream the recorded campaign into it at
 		// the requested speedup: the dashboard fills in as the jobs "run".
@@ -70,7 +76,12 @@ func main() {
 		}
 		client = dsos.Connect(serveCluster)
 		ingest := ldms.NewDaemon("web-ingest", "dashboard")
-		ingest.AttachStore(connector.DefaultTag, ldms.NewDSOSStore(client))
+		dstore := ldms.NewDSOSStore(client)
+		ingest.AttachStore(connector.DefaultTag, dstore)
+		serveCluster.Instrument(reg, clock)
+		dstore.Instrument(reg, clock)
+		ingest.Bus().Instrument("web-ingest", clock)
+		ingest.Bus().Collect(reg, "web-ingest")
 		go func() {
 			jobIDs, err := src.DistinctJobs()
 			if err != nil {
@@ -91,7 +102,8 @@ func main() {
 	}
 
 	srv := webui.NewServer(client, nil)
-	fmt.Fprintf(os.Stderr, "dlc-web: dashboard at http://localhost%s/\n", *addr)
+	srv.AttachObs(reg)
+	fmt.Fprintf(os.Stderr, "dlc-web: dashboard at http://localhost%s/ (pipeline health on / and /metrics)\n", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)
 	}

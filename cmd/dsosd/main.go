@@ -30,6 +30,7 @@ import (
 	"darshanldms/internal/dsos"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/sos"
 )
 
@@ -83,7 +84,8 @@ func main() {
 	client := dsos.Connect(cluster)
 
 	d := ldms.NewDaemon("dsosd-ingest", "dsosd")
-	h := d.AttachStore(*tag, ldms.NewDSOSStore(client))
+	dstore := ldms.NewDSOSStore(client)
+	h := d.AttachStore(*tag, dstore)
 	srv, err := ldms.ListenTCP(d, *listen)
 	if err != nil {
 		fatal(err)
@@ -125,7 +127,24 @@ func main() {
 	}
 
 	if *httpAddr != "" {
+		// Telemetry: every stage this daemon owns — ingest bus, TCP
+		// receive side, buffer pools, DSOS store plugin, per-shard
+		// cluster state — plus a cluster-quorum health probe.
+		reg := obs.NewRegistry()
+		clock := obs.WallClock()
+		cluster.Instrument(reg, clock)
+		dstore.Instrument(reg, clock)
+		d.Bus().Instrument("dsosd-ingest", clock)
+		d.Bus().Collect(reg, "dsosd-ingest")
+		srv.Instrument("tcp:dsosd", clock)
+		srv.Collect(reg, "dsosd")
+		ldms.CollectPools(reg)
+		health := obs.NewHealth()
+		health.Register("cluster", cluster.ClusterHealth())
+
 		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.Handle("/healthz", health.Handler())
 		mux.HandleFunc("/count", func(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, client.Count(dsos.DarshanSchemaName))
 		})
@@ -175,7 +194,7 @@ func main() {
 			}
 		})
 		go func() {
-			fmt.Fprintf(os.Stderr, "dsosd: HTTP query API on %s\n", *httpAddr)
+			fmt.Fprintf(os.Stderr, "dsosd: HTTP query API on %s (/metrics, /healthz)\n", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "dsosd: http:", err)
 			}

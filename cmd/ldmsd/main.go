@@ -30,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,11 +40,13 @@ import (
 	"darshanldms/internal/connector"
 	"darshanldms/internal/event"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/rng"
 )
 
 func main() {
 	listen := flag.String("listen", ":4411", "TCP listen address")
+	httpAddr := flag.String("http", "", "telemetry HTTP address serving /metrics and /healthz (empty disables)")
 	producer := flag.String("producer", hostnameOr("ldmsd"), "producer name")
 	tag := flag.String("tag", connector.DefaultTag, "stream tag to handle")
 	forward := flag.String("forward", "", "upstream aggregator address (optional)")
@@ -106,6 +109,7 @@ func main() {
 		d.AttachStore(*tag, csv)
 	}
 	var fwd *ldms.ReconnectingForwarder
+	var uplink *ldms.TCPClient
 	if *forward != "" {
 		if *reconnect {
 			policy, err := ldms.ParseOverflowPolicy(*spoolPolicy)
@@ -142,6 +146,7 @@ func main() {
 			}
 			defer client.Close()
 			ldms.ForwardTCP(d, *tag, client)
+			uplink = client
 			fmt.Fprintf(os.Stderr, "ldmsd: forwarding tag %q to %s\n", *tag, *forward)
 		}
 	}
@@ -152,6 +157,37 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "ldmsd: %s listening on %s (tag %q)\n", *producer, srv.Addr(), *tag)
+
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		clock := obs.WallClock()
+		d.Bus().Instrument("ldmsd", clock)
+		d.Bus().Collect(reg, "ldmsd")
+		srv.Instrument("tcp:ldmsd", clock)
+		srv.Collect(reg, "ldmsd")
+		ldms.CollectPools(reg)
+		reg.RegisterCollector(func(emit func(string, float64)) {
+			emit("dlc_store_count_messages_total", float64(count.Count()))
+			emit("dlc_store_count_bytes_total", float64(count.Bytes()))
+		})
+		health := obs.NewHealth()
+		if fwd != nil {
+			fwd.Collect(reg, "uplink")
+			health.Register("spool", fwd.SpoolHealth())
+		}
+		if uplink != nil {
+			uplink.Collect(reg, "uplink")
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(reg))
+		mux.Handle("/healthz", health.Handler())
+		go func() {
+			fmt.Fprintf(os.Stderr, "ldmsd: telemetry on %s (/metrics, /healthz)\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "ldmsd: http:", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -76,6 +76,9 @@ type Connector struct {
 	// seqs hands out per-producer sequence numbers, the message's
 	// delivery identity for downstream dedup (exactly-once ingest).
 	seqs map[string]uint64
+	// obs, when set (Instrument), records the per-event encoder cost and
+	// stamps the "connector" trace hop. Nil costs one compare per event.
+	obs *connObs
 }
 
 // lossyEncoder marks encoders whose output deliberately discards the
@@ -155,6 +158,11 @@ func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
 	if c.cfg.ChargeOverhead {
 		ctx.Charge(c.enc.SimCost())
 	}
+	if c.obs != nil {
+		// SimCost is a pure per-encoder constant, so observing it cannot
+		// perturb the seeded run even when overhead is not being charged.
+		c.obs.encodeCost.Observe(uint64(c.enc.SimCost()))
+	}
 	d := c.daemonOf(ev.Producer)
 	if d == nil {
 		c.stats.Dropped++
@@ -171,7 +179,11 @@ func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
 		m.Data = c.enc.Encode(&msg)
 		c.bytes.Add(uint64(len(m.Data)))
 	} else {
-		m.Record = event.NewRecord(&msg, c.enc).CountEncodes(&c.bytes)
+		rec := event.NewRecord(&msg, c.enc).CountEncodes(&c.bytes)
+		if c.obs != nil && c.obs.trace {
+			rec.Stamp(hopConnector, ctx.Now())
+		}
+		m.Record = rec
 	}
 	if d.Bus().Publish(m) == 0 {
 		c.stats.Dropped++

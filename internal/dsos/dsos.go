@@ -28,7 +28,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"darshanldms/internal/obs"
 	"darshanldms/internal/sos"
 )
 
@@ -48,8 +51,9 @@ type Daemon struct {
 	cont  *sos.Container
 	fault error // non-nil: operations fail (injected dsosd outage)
 
-	wal       *sos.WAL // nil: no write-ahead logging
-	recovered uint64   // WAL records replayed across restarts
+	wal       *sos.WAL      // nil: no write-ahead logging
+	recovered uint64        // WAL records replayed across restarts
+	inserts   atomic.Uint64 // acked inserts, cumulative across crashes (obs)
 
 	// Rebuild material captured at crash time: the daemon's schema/index
 	// configuration survives a crash (a real dsosd re-reads it at startup),
@@ -224,6 +228,7 @@ func (d *Daemon) InsertOrigin(schema string, obj sos.Object, origin uint64) erro
 			return err
 		}
 	}
+	d.inserts.Add(1)
 	return nil
 }
 
@@ -291,6 +296,10 @@ type Cluster struct {
 	next    int    // round-robin ingest cursor
 	repl    int    // replication factor (>=1)
 	origin  uint64 // cluster-wide logical insert id allocator
+	// Obs plane (set by Instrument): quorum latency for replicated
+	// inserts, timed with the injected clock (virtual in the sim zone).
+	obsClock  obs.Clock
+	quorumLat *obs.Histogram
 }
 
 // NewCluster creates n daemons named dsosd0..dsosd(n-1), all hosting the
@@ -409,9 +418,14 @@ func (cl *Client) Insert(schema string, obj sos.Object) error {
 		c.origin++
 		origin = c.origin
 	}
+	clock, quorum := c.obsClock, c.quorumLat
 	c.mu.Unlock()
 	if repl == 1 {
 		return c.daemons[start].Insert(schema, obj)
+	}
+	var q0 time.Duration
+	if clock != nil {
+		q0 = clock()
 	}
 	var firstErr error
 	acked := 0
@@ -424,6 +438,9 @@ func (cl *Client) Insert(schema string, obj sos.Object) error {
 			continue
 		}
 		acked++
+	}
+	if clock != nil {
+		quorum.Observe(uint64(clock() - q0))
 	}
 	if acked == 0 {
 		return firstErr
@@ -453,6 +470,7 @@ func (cl *Client) InsertBatch(schema string, objs []sos.Object) error {
 		origin = c.origin
 		c.origin += uint64(len(objs))
 	}
+	clock, quorum := c.obsClock, c.quorumLat
 	c.mu.Unlock()
 	var firstErr error
 	for k, obj := range objs {
@@ -460,6 +478,10 @@ func (cl *Client) InsertBatch(schema string, objs []sos.Object) error {
 		if repl == 1 {
 			err = c.daemons[(start+k)%n].Insert(schema, obj)
 		} else {
+			var q0 time.Duration
+			if clock != nil {
+				q0 = clock()
+			}
 			acked := 0
 			var replErr error
 			for i := 0; i < repl; i++ {
@@ -471,6 +493,9 @@ func (cl *Client) InsertBatch(schema string, objs []sos.Object) error {
 					continue
 				}
 				acked++
+			}
+			if clock != nil {
+				quorum.Observe(uint64(clock() - q0))
 			}
 			if acked == 0 {
 				err = replErr

@@ -1,0 +1,78 @@
+package dsos
+
+import (
+	"darshanldms/internal/obs"
+)
+
+// Instrument attaches the cluster to the obs plane. The clock times
+// replication quorums (virtual time in the sim zone — where inserts
+// advance no virtual clock, so the histogram is deterministic; wall
+// time in a real dsosd). A scrape-time collector exports the per-shard
+// view: object counts, cumulative inserts, WAL appends and replays, and
+// up/down state. Daemons are walked in cluster slice order, so the
+// snapshot is deterministic.
+func (c *Cluster) Instrument(reg *obs.Registry, clock obs.Clock) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	c.obsClock = clock
+	c.quorumLat = reg.Histogram("dlc_dsos_quorum_latency_ns")
+	c.mu.Unlock()
+	reg.RegisterCollector(func(emit func(string, float64)) {
+		c.mu.Lock()
+		repl := c.repl
+		origins := c.origin
+		c.mu.Unlock()
+		emit("dlc_dsos_replication", float64(repl))
+		emit("dlc_dsos_origins_allocated_total", float64(origins))
+		emit("dlc_dsos_shards", float64(len(c.daemons)))
+		for _, d := range c.daemons {
+			labels := `{shard="` + d.Name + `"}`
+			emit("dlc_dsos_shard_objects"+labels, float64(d.Count(DarshanSchemaName)))
+			emit("dlc_dsos_shard_inserts_total"+labels, float64(d.Inserts()))
+			emit("dlc_dsos_shard_wal_recovered_total"+labels, float64(d.Recovered()))
+			up := 0.0
+			if d.Up() {
+				up = 1
+			}
+			emit("dlc_dsos_shard_up"+labels, up)
+			if w := d.WAL(); w != nil {
+				emit("dlc_dsos_shard_wal_appended_total"+labels, float64(w.Appended()))
+			}
+		}
+	})
+}
+
+// Up reports whether the daemon is serving (not crashed, no injected
+// fault).
+func (d *Daemon) Up() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cont != nil && d.fault == nil
+}
+
+// Inserts returns the cumulative count of successfully acked inserts on
+// this daemon (replica writes count individually; survives crashes,
+// unlike Count, which reflects the rebuilt shard).
+func (d *Daemon) Inserts() uint64 {
+	return d.inserts.Load()
+}
+
+// ClusterHealth returns a /healthz probe that fails when fewer live
+// daemons remain than the replication factor — the point at which an
+// insert can fail outright and a placement group can go dark.
+func (c *Cluster) ClusterHealth() func() error {
+	return func() error {
+		up := 0
+		for _, d := range c.daemons {
+			if d.Up() {
+				up++
+			}
+		}
+		if up < c.Replication() {
+			return ErrPartial
+		}
+		return nil
+	}
+}

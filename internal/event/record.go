@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/streams"
 )
 
@@ -40,6 +41,7 @@ type Record struct {
 	payload []byte           // cached wire bytes; nil until first Payload on a typed-first record
 	err     error            // sticky parse error of a bytes-first record
 	counter *atomic.Uint64   // optional: counts bytes actually encoded
+	spans   []obs.Span       // hop trace; only grows while obs tracing is on
 }
 
 // NewRecord builds a typed-first record. codec chooses the JSON rendering

@@ -16,6 +16,7 @@ import (
 	"darshanldms/internal/faults"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/rng"
 	"darshanldms/internal/sim"
 	"darshanldms/internal/simfs"
@@ -81,6 +82,7 @@ type ChaosRunResult struct {
 	Merged         int    // objects in the final merged query
 	Violations     []string
 	Log            []faults.Record
+	Obs            []obs.Sample // per-stage telemetry snapshot, taken post-audit
 }
 
 // ChaosSoakResult is a full soak: the fault-free oracle plus one run per
@@ -259,7 +261,8 @@ func runChaosSoak(cfg ChaosSoakConfig, name string, mkProfile func(links, crashe
 	// Store chain, outermost first: dedup absorbs replayed deliveries, the
 	// ack recorder witnesses what was promised durable, retry rides out
 	// transient store faults, flaky injects them, DSOS stores.
-	flaky := faults.NewFlakyStore(ldms.NewDSOSStore(client), root.Derive("storefault"), storeFailProb)
+	dstore := ldms.NewDSOSStore(client)
+	flaky := faults.NewFlakyStore(dstore, root.Derive("storefault"), storeFailProb)
 	retry := ldms.NewRetryStore(flaky, ldms.RetryConfig{Attempts: 4})
 	ack := newAckRecorder(retry)
 	dedup := ldms.NewDedupStore(ack)
@@ -271,6 +274,29 @@ func runChaosSoak(cfg ChaosSoakConfig, name string, mkProfile func(links, crashe
 		Meta:           jsonmsg.JobMeta{UID: 99066, JobID: 1, Exe: "/projects/hacc/hacc-io"},
 		ChargeOverhead: true,
 	}, func(producer string) *ldms.Daemon { return nodeDaemons[producer] })
+
+	// Telemetry: every soak run carries its own registry and the report
+	// embeds the snapshot, so the per-stage breakdown is always next to
+	// the invariant audit. Trace hops run on the engine's virtual clock.
+	reg := obs.NewRegistry()
+	clock := obs.Clock(e.Now)
+	conn.Instrument(reg)
+	connector.Collect(reg, []*connector.Connector{conn})
+	nodeBuses := make([]*streams.Bus, 0, len(nodeDaemons))
+	for _, n := range m.Nodes() {
+		d := nodeDaemons[n.Name]
+		d.Bus().Instrument(hopNodeBus, clock)
+		nodeBuses = append(nodeBuses, d.Bus())
+	}
+	collectBusGroup(reg, hopNodeBus, nodeBuses)
+	head.Daemon.Bus().Instrument(hopHeadBus, clock)
+	head.Daemon.Bus().Collect(reg, hopHeadBus)
+	remote.Daemon.Bus().Instrument(hopRemoteBus, clock)
+	remote.Daemon.Bus().Collect(reg, hopRemoteBus)
+	dedup.Instrument(reg, clock)
+	retry.Collect(reg)
+	dstore.Instrument(reg, clock)
+	sc.Instrument(reg, clock)
 
 	profile := faults.Profile{Name: name}
 	if mkProfile != nil {
@@ -412,6 +438,8 @@ func runChaosSoak(cfg ChaosSoakConfig, name string, mkProfile func(links, crashe
 		}
 	}
 
+	res.Obs = reg.Snapshot()
+
 	// 4. A lossless run must reproduce the oracle exactly.
 	storeErrs, _ := handle.Errors()
 	if oracle != nil && res.LinkDropped == 0 && res.StoreDrops == 0 && storeErrs == 0 {
@@ -518,5 +546,6 @@ func RenderChaosSoak(c *ChaosSoakResult) string {
 			fmt.Fprintf(&b, "  %s\n", rec)
 		}
 	}
+	renderObsSection(&b, "pipeline stage snapshot (oracle run):", c.Oracle.Obs)
 	return b.String()
 }

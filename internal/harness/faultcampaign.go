@@ -12,9 +12,11 @@ import (
 	"darshanldms/internal/faults"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/rng"
 	"darshanldms/internal/sim"
 	"darshanldms/internal/simfs"
+	"darshanldms/internal/streams"
 )
 
 // The fault campaign reruns the HACC-IO monitoring pipeline under a set of
@@ -36,6 +38,7 @@ type FaultRunResult struct {
 	StoreRetries uint64          // store attempts retried by the ingest retry layer
 	StoreDrops   uint64          // messages lost at the store after retries
 	Log          []faults.Record // what fired, and when
+	Obs          []obs.Sample    // per-stage telemetry snapshot, taken post-run
 }
 
 // FaultCampaignResult is a full campaign: a fault-free baseline plus one
@@ -119,6 +122,29 @@ func runUnderFaults(cfg faultRunConfig, profile faults.Profile) (*FaultRunResult
 		ChargeOverhead: true,
 	}, func(producer string) *ldms.Daemon { return nodeDaemons[producer] })
 
+	// Telemetry mirrors the chaos soak: per-run registry, snapshot in
+	// the report, hop stamps on the engine's virtual clock.
+	reg := obs.NewRegistry()
+	clock := obs.Clock(e.Now)
+	conn.Instrument(reg)
+	connector.Collect(reg, []*connector.Connector{conn})
+	nodeBuses := make([]*streams.Bus, 0, len(nodeDaemons))
+	for _, n := range m.Nodes() {
+		d := nodeDaemons[n.Name]
+		d.Bus().Instrument(hopNodeBus, clock)
+		nodeBuses = append(nodeBuses, d.Bus())
+	}
+	collectBusGroup(reg, hopNodeBus, nodeBuses)
+	head.Daemon.Bus().Instrument(hopHeadBus, clock)
+	head.Daemon.Bus().Collect(reg, hopHeadBus)
+	remote.Daemon.Bus().Instrument(hopRemoteBus, clock)
+	remote.Daemon.Bus().Collect(reg, hopRemoteBus)
+	dedup.Instrument(reg, clock)
+	retry.Collect(reg)
+	reg.RegisterCollector(func(emit func(string, float64)) {
+		emit("dlc_store_count_messages_total", float64(count.Count()))
+	})
+
 	if err := ctl.Apply(profile); err != nil {
 		return nil, err
 	}
@@ -151,6 +177,7 @@ func runUnderFaults(cfg faultRunConfig, profile faults.Profile) (*FaultRunResult
 	res.StoreRetries = retries
 	res.StoreDrops = failures
 	res.Dropped += failures
+	res.Obs = reg.Snapshot()
 	_ = storeHandle
 	return res, nil
 }
@@ -240,5 +267,6 @@ func RenderFaultCampaign(c *FaultCampaignResult) string {
 			fmt.Fprintf(&b, "  %s\n", rec)
 		}
 	}
+	renderObsSection(&b, "pipeline stage snapshot (baseline run):", c.Baseline.Obs)
 	return b.String()
 }

@@ -18,9 +18,11 @@ import (
 	"darshanldms/internal/dsos"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/rng"
 	"darshanldms/internal/sim"
 	"darshanldms/internal/simfs"
+	"darshanldms/internal/streams"
 )
 
 // RunOptions configures one job execution.
@@ -51,6 +53,11 @@ type RunOptions struct {
 	// interval so the run's system-behaviour timeline can be correlated
 	// with the I/O stream afterwards.
 	SampleFSLoad time.Duration
+	// Telemetry, when non-nil, attaches every pipeline stage of this
+	// run to the given obs registry (virtual-clock trace hops included).
+	// Instrumentation must not perturb the run: a seeded run's results
+	// are bit-identical with or without it.
+	Telemetry *obs.Registry
 }
 
 // RunResult reports one job execution.
@@ -114,8 +121,10 @@ func Run(opts RunOptions) (*RunResult, error) {
 
 	count := &ldms.CountStore{}
 	var storeHandle *ldms.StoreHandle
+	var dstore *ldms.DSOSStore
 	if opts.Store != nil {
-		storeHandle = remote.AttachStore(connector.DefaultTag, ldms.NewDSOSStore(opts.Store))
+		dstore = ldms.NewDSOSStore(opts.Store)
+		storeHandle = remote.AttachStore(connector.DefaultTag, dstore)
 	} else {
 		storeHandle = remote.AttachStore(connector.DefaultTag, count)
 	}
@@ -129,6 +138,35 @@ func Run(opts RunOptions) (*RunResult, error) {
 			Meta:           jsonmsg.JobMeta{UID: int64(opts.UID), JobID: opts.JobID, Exe: opts.Exe},
 			ChargeOverhead: true,
 		}, func(producer string) *ldms.Daemon { return nodeDaemons[producer] })
+	}
+
+	// Opt-in telemetry (dlc-experiments -telemetry): same wiring as the
+	// always-on chaos-soak registry, against the caller's registry.
+	if opts.Telemetry != nil {
+		reg := opts.Telemetry
+		clock := obs.Clock(e.Now)
+		if conn != nil {
+			conn.Instrument(reg)
+			connector.Collect(reg, []*connector.Connector{conn})
+		}
+		nodeBuses := make([]*streams.Bus, 0, len(nodeDaemons))
+		for _, n := range m.Nodes() {
+			d := nodeDaemons[n.Name]
+			d.Bus().Instrument(hopNodeBus, clock)
+			nodeBuses = append(nodeBuses, d.Bus())
+		}
+		collectBusGroup(reg, hopNodeBus, nodeBuses)
+		head.Daemon.Bus().Instrument(hopHeadBus, clock)
+		head.Daemon.Bus().Collect(reg, hopHeadBus)
+		remote.Daemon.Bus().Instrument(hopRemoteBus, clock)
+		remote.Daemon.Bus().Collect(reg, hopRemoteBus)
+		if dstore != nil {
+			dstore.Instrument(reg, clock)
+		} else {
+			reg.RegisterCollector(func(emit func(string, float64)) {
+				emit("dlc_store_count_messages_total", float64(count.Count()))
+			})
+		}
 	}
 
 	opts.App(apps.Env{E: e, M: m, FS: fs, RT: rt})

@@ -3,6 +3,7 @@ package ldms
 import (
 	"sync"
 
+	"darshanldms/internal/obs"
 	"darshanldms/internal/streams"
 )
 
@@ -33,7 +34,11 @@ type DedupStore struct {
 	duplicates uint64
 	stored     uint64
 	unstamped  uint64
+	clock      obs.Clock // set by Instrument: stamps the "dedup" trace hop
 }
+
+// hopDedup names the dedup stage in record traces.
+const hopDedup = "dedup"
 
 // NewDedupStore wraps inner with (producer, seq) deduplication.
 func NewDedupStore(inner StorePlugin) *DedupStore {
@@ -50,6 +55,11 @@ func (s *DedupStore) Name() string { return "dedup(" + s.inner.Name() + ")" }
 func (s *DedupStore) Store(m streams.Message) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.clock != nil {
+		if st, ok := m.Record.(streams.Stamper); ok {
+			st.Stamp(hopDedup, s.clock())
+		}
+	}
 	if m.Producer == "" || m.Seq == 0 {
 		s.unstamped++
 		return s.inner.Store(m)

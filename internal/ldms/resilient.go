@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darshanldms/internal/event"
@@ -180,6 +181,13 @@ type ReconnectingForwarder struct {
 	ring          []streams.Message
 	replayPending bool
 	replayed      uint64
+
+	// Wire accounting for the obs plane: bytes actually written to the
+	// socket (headers included) and frames by kind. Atomic so Collect
+	// reads them without touching the forwarder locks.
+	wireBytes      atomic.Uint64
+	framesOut      atomic.Uint64
+	batchFramesOut atomic.Uint64
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -389,6 +397,7 @@ func (f *ReconnectingForwarder) sendBatchFrame(msgs []streams.Message) error {
 			f.teardownLocked()
 			return err
 		}
+		f.batchFramesOut.Add(1)
 		f.replayed += uint64(len(f.ring))
 		f.replayPending = false
 	}
@@ -396,6 +405,7 @@ func (f *ReconnectingForwarder) sendBatchFrame(msgs []streams.Message) error {
 		f.teardownLocked()
 		return err
 	}
+	f.batchFramesOut.Add(1)
 	if err := f.bw.Flush(); err != nil {
 		f.teardownLocked()
 		return err
@@ -505,6 +515,7 @@ func (f *ReconnectingForwarder) sendFrame(m streams.Message) error {
 				f.teardownLocked()
 				return err
 			}
+			f.framesOut.Add(1)
 			f.replayed++
 		}
 		f.replayPending = false
@@ -513,6 +524,7 @@ func (f *ReconnectingForwarder) sendFrame(m streams.Message) error {
 		f.teardownLocked()
 		return err
 	}
+	f.framesOut.Add(1)
 	if err := f.bw.Flush(); err != nil {
 		f.teardownLocked()
 		return err
@@ -536,7 +548,7 @@ func (f *ReconnectingForwarder) ensureConnLocked() error {
 		return err
 	}
 	f.conn = conn
-	f.bw = bufio.NewWriter(conn)
+	f.bw = bufio.NewWriter(&countingWriter{w: conn, n: &f.wireBytes})
 	f.dials++
 	// The server never writes application data back; a read can only
 	// return when the peer closes or resets, which is exactly the signal

@@ -8,6 +8,7 @@ import (
 	"darshanldms/internal/dsos"
 	"darshanldms/internal/event"
 	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/obs"
 	"darshanldms/internal/sos"
 	"darshanldms/internal/streams"
 )
@@ -157,7 +158,15 @@ type DSOSStore struct {
 	client *dsos.Client
 	mu     sync.Mutex
 	objs   []sos.Object // reused per-message object batch
+	// Obs plane (set by Instrument; nil-safe counters otherwise).
+	clock   obs.Clock
+	msgs    *obs.Counter
+	objects *obs.Counter
+	errs    *obs.Counter
 }
+
+// hopStore names the DSOS ingest stage in record traces.
+const hopStore = "store"
 
 // NewDSOSStore creates the store plugin over a connected client.
 func NewDSOSStore(client *dsos.Client) *DSOSStore {
@@ -175,6 +184,17 @@ func (s *DSOSStore) Store(m streams.Message) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.clock != nil {
+		if st, ok := m.Record.(streams.Stamper); ok {
+			st.Stamp(hopStore, s.clock())
+		}
+	}
 	s.objs = dsos.AppendObjects(s.objs[:0], msg)
-	return s.client.InsertBatch(dsos.DarshanSchemaName, s.objs)
+	err = s.client.InsertBatch(dsos.DarshanSchemaName, s.objs)
+	s.msgs.Inc()
+	s.objects.Add(uint64(len(s.objs)))
+	if err != nil {
+		s.errs.Inc()
+	}
+	return err
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"darshanldms/internal/event"
@@ -102,6 +103,13 @@ type TCPServer struct {
 	heartbeats uint64
 	lastSeen   time.Time
 	wg         sync.WaitGroup
+	// Obs plane: raw wire bytes and frames by kind (atomic: updated on
+	// every connection's read loop), plus the trace hop set by Instrument.
+	wireBytes   atomic.Uint64
+	frames      atomic.Uint64
+	batchFrames atomic.Uint64
+	hop         string
+	clock       func() time.Duration
 }
 
 // ListenTCP starts a transport listener for the daemon on addr
@@ -184,14 +192,30 @@ func (s *TCPServer) serve(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	br := bufio.NewReader(conn)
+	br := bufio.NewReader(&countingReader{r: conn, n: &s.wireBytes})
 	for {
 		// One connection may interleave legacy single-message frames and
-		// batch frames; ReadAnyFrame dispatches on the leading byte.
+		// batch frames; ReadAnyFrame dispatches on the leading byte, and
+		// the same peek classifies the frame for the wire counters (a
+		// legacy frame's first length byte can never be the batch magic —
+		// maxFrame keeps it below 0x01000000).
+		lead, err := br.Peek(1)
+		if err != nil {
+			return // EOF: best-effort, drop the link
+		}
+		isBatch := lead[0] == batchMagic
 		msgs, err := ReadAnyFrame(br)
 		if err != nil {
 			return // EOF or protocol error: best-effort, drop the link
 		}
+		if isBatch {
+			s.batchFrames.Add(1)
+		} else {
+			s.frames.Add(1)
+		}
+		s.mu.Lock()
+		hop, clock := s.hop, s.clock
+		s.mu.Unlock()
 		for _, m := range msgs {
 			s.mu.Lock()
 			s.lastSeen = time.Now()
@@ -207,6 +231,11 @@ func (s *TCPServer) serve(conn net.Conn) {
 				// fanned out below shares one cached parse instead of
 				// re-parsing per consumer.
 				m.Record = event.FromPayload(m.Data)
+			}
+			if hop != "" {
+				if st, ok := m.Record.(streams.Stamper); ok {
+					st.Stamp(hop, clock())
+				}
 			}
 			s.d.Bus().Publish(m)
 		}
@@ -236,6 +265,11 @@ type TCPClient struct {
 	mu   sync.Mutex
 	conn net.Conn
 	bw   *bufio.Writer
+	// Obs plane: wire bytes and frames written (always counted — three
+	// atomic adds per frame — so Collect needs no mode switch).
+	wireBytes   atomic.Uint64
+	frames      atomic.Uint64
+	batchFrames atomic.Uint64
 }
 
 // DialTCP connects to a TCPServer.
@@ -244,7 +278,9 @@ func DialTCP(addr string) (*TCPClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TCPClient{conn: conn, bw: bufio.NewWriter(conn)}, nil
+	c := &TCPClient{conn: conn}
+	c.bw = bufio.NewWriter(&countingWriter{w: conn, n: &c.wireBytes})
+	return c, nil
 }
 
 // Publish sends one message.
@@ -257,6 +293,7 @@ func (c *TCPClient) Publish(m streams.Message) error {
 	if err := WriteFrame(c.bw, m); err != nil {
 		return err
 	}
+	c.frames.Add(1)
 	return c.bw.Flush()
 }
 

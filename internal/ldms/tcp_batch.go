@@ -255,5 +255,6 @@ func (c *TCPClient) PublishBatch(msgs []streams.Message) error {
 	if err := WriteBatchFrame(c.bw, msgs); err != nil {
 		return err
 	}
+	c.batchFrames.Add(1)
 	return c.bw.Flush()
 }

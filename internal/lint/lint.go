@@ -251,6 +251,7 @@ func (c *Check) appliesTo(z Zone) bool {
 func Checks() []*Check {
 	return []*Check{
 		walltimeCheck,
+		obsclockCheck,
 		globalrandCheck,
 		maporderCheck,
 		lockheldCheck,

@@ -75,7 +75,7 @@ func wantedFindings(t *testing.T, dir string) map[string]bool {
 // fixture asserts zero findings; the others each force their check to fire
 // and exercise suppression.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr", "hotalloc", "clean"}
+	fixtures := []string{"walltime", "obsclock", "globalrand", "maporder", "lockheld", "puberr", "hotalloc", "clean"}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
@@ -121,6 +121,18 @@ func TestWalltimeZoneGate(t *testing.T) {
 	for _, f := range Run(pkg, Checks()) {
 		if f.Check == "walltime" {
 			t.Errorf("walltime fired in real zone: %v", f)
+		}
+	}
+}
+
+// TestObsclockZoneGate: obs.WallClock is legitimate in the real zone
+// (daemons time telemetry in wall time); the check must stay silent there.
+func TestObsclockZoneGate(t *testing.T) {
+	pkg := loadFixture(t, "obsclock")
+	pkg.Zone = ZoneReal
+	for _, f := range Run(pkg, Checks()) {
+		if f.Check == "obsclock" {
+			t.Errorf("obsclock fired in real zone: %v", f)
 		}
 	}
 }
@@ -196,7 +208,7 @@ func TestFindingJSONAndString(t *testing.T) {
 
 func TestCheckSuite(t *testing.T) {
 	names := CheckNames()
-	want := []string{"walltime", "globalrand", "maporder", "lockheld", "puberr", "hotalloc"}
+	want := []string{"walltime", "obsclock", "globalrand", "maporder", "lockheld", "puberr", "hotalloc"}
 	if len(names) != len(want) {
 		t.Fatalf("suite = %v, want %v", names, want)
 	}

@@ -1,0 +1,35 @@
+// Package obsclock is a known-bad fixture for the obsclock check.
+//
+//lint:zone sim
+package obsclock
+
+import (
+	"time"
+
+	"darshanldms/internal/obs"
+)
+
+// Bad binds telemetry to the wall clock inside the (forced) sim zone.
+func Bad() obs.Clock {
+	c := obs.WallClock() // want obsclock
+	return c
+}
+
+// VirtualOK threads an injected clock — the correct sim-zone pattern.
+func VirtualOK(now func() time.Duration) obs.Clock {
+	return obs.Clock(now)
+}
+
+// InstrumentsOK shows the rest of the obs API is fine in the sim zone:
+// counters, gauges and histograms are clock-free.
+func InstrumentsOK(reg *obs.Registry) {
+	reg.Counter("dlc_fixture_total").Inc()
+	reg.Gauge("dlc_fixture_depth").Set(1)
+	reg.Histogram("dlc_fixture_ns").Observe(2)
+}
+
+// Suppressed demonstrates the //lint:allow escape hatch.
+func Suppressed() obs.Clock {
+	//lint:allow obsclock fixture demonstrates leading suppression
+	return obs.WallClock()
+}

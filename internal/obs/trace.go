@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock yields a monotonic timestamp as an offset from some epoch. The
+// sim zone passes virtual time (sim.Engine.Now, darshan.Ctx.Now); real
+// daemons pass WallClock(). obs itself never reads a clock.
+type Clock func() time.Duration
+
+// WallClock returns a Clock over the process's wall time, anchored at
+// the moment of the call. It is for the REAL zone only: the obsclock
+// lint check bans it from the deterministic sim zone, where the
+// engine's virtual clock must be threaded instead.
+func WallClock() Clock {
+	start := time.Now()
+	return func() time.Duration {
+		return time.Since(start)
+	}
+}
+
+// Span is one hop crossing in a record's trace: the hop's name and the
+// clock reading when the record crossed it.
+type Span struct {
+	Hop string
+	At  time.Duration
+}
+
+// tracing is the global span-tracing switch. Off by default: with
+// tracing off, Stamp callbacks are cheap no-ops and records never grow
+// span slices, so the uninstrumented pipeline is bit-identical.
+var tracing atomic.Bool
+
+// SetTracing flips per-event span tracing on or off process-wide and
+// returns the previous setting.
+func SetTracing(on bool) bool {
+	return tracing.Swap(on)
+}
+
+// TracingEnabled reports whether span tracing is on.
+func TracingEnabled() bool {
+	return tracing.Load()
+}

@@ -1,0 +1,32 @@
+package streams
+
+import (
+	"darshanldms/internal/obs"
+)
+
+// Collect registers a scrape-time collector that exports the bus's
+// per-tag fan-out counters under the given hop name:
+//
+//	dlc_bus_published_total{bus="<hop>",tag="<tag>"}
+//	dlc_bus_delivered_total{bus="<hop>",tag="<tag>"}
+//	dlc_bus_dropped_total{bus="<hop>",tag="<tag>"}
+//	dlc_bus_subscribers{bus="<hop>",tag="<tag>"}
+//
+// Collection reads the stats the bus already keeps, so the publish hot
+// path is untouched. Tag iteration is sorted (StatTags), keeping the
+// snapshot deterministic.
+func (b *Bus) Collect(reg *obs.Registry, hop string) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector(func(emit func(string, float64)) {
+		for _, tag := range b.StatTags() {
+			st := b.Stats(tag)
+			labels := `{bus="` + hop + `",tag="` + tag + `"}`
+			emit("dlc_bus_published_total"+labels, float64(st.Published))
+			emit("dlc_bus_delivered_total"+labels, float64(st.Delivered))
+			emit("dlc_bus_dropped_total"+labels, float64(st.Dropped))
+			emit("dlc_bus_subscribers"+labels, float64(b.SubscriberCount(tag)))
+		}
+	})
+}

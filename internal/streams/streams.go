@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // MsgType distinguishes the two payload formats LDMS Streams supports.
@@ -85,6 +86,14 @@ type Stats struct {
 	Dropped   uint64 // publishes that reached no subscriber
 }
 
+// Stamper is a payload carrier that records hop crossings (it is
+// implemented by *event.Record; the bus stays decoupled from the event
+// package). An instrumented bus stamps every stamping carrier it
+// publishes with its hop name and clock reading.
+type Stamper interface {
+	Stamp(hop string, at time.Duration)
+}
+
 // Bus is a stream bus, the per-daemon rendezvous point. It is safe for
 // concurrent use (the TCP transport delivers from multiple connections).
 type Bus struct {
@@ -92,6 +101,22 @@ type Bus struct {
 	subs  map[string][]*Subscription
 	stats map[string]*Stats
 	seq   int
+	// hop/clock are set by Instrument; when set, Publish stamps typed
+	// records crossing this bus (the stamp itself is gated on the
+	// process-wide obs tracing switch, so this stays free when off).
+	hop   string
+	clock func() time.Duration
+}
+
+// Instrument names this bus as a trace hop and supplies the clock used
+// to timestamp crossings. Sim-zone buses must pass virtual time (the
+// engine clock); real daemons pass a wall clock. Instrumenting changes
+// no delivery behavior.
+func (b *Bus) Instrument(hop string, clock func() time.Duration) {
+	b.mu.Lock()
+	b.hop = hop
+	b.clock = clock
+	b.mu.Unlock()
 }
 
 // NewBus creates an empty bus.
@@ -156,14 +181,25 @@ func (b *Bus) Publish(msg Message) int {
 		b.stats[msg.Tag] = st
 	}
 	st.Published++
+	hop, clock := b.hop, b.clock
 	list := append([]*Subscription(nil), b.subs[msg.Tag]...)
 	if len(list) == 0 {
 		st.Dropped++
 		b.mu.Unlock()
+		if hop != "" {
+			if s, ok := msg.Record.(Stamper); ok {
+				s.Stamp(hop, clock())
+			}
+		}
 		return 0
 	}
 	st.Delivered += uint64(len(list))
 	b.mu.Unlock()
+	if hop != "" {
+		if s, ok := msg.Record.(Stamper); ok {
+			s.Stamp(hop, clock())
+		}
+	}
 	// Handlers run outside the lock so they may publish or subscribe.
 	for _, sub := range list {
 		sub.handler(msg)
@@ -215,6 +251,20 @@ func (b *Bus) Tags() []string {
 	defer b.mu.Unlock()
 	out := make([]string, 0, len(b.subs))
 	for tag := range b.subs {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatTags returns, sorted, every tag the bus has counters for —
+// including tags whose publishes were all dropped for want of a
+// subscriber (Tags omits those, having no subscription to report).
+func (b *Bus) StatTags() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.stats))
+	for tag := range b.stats {
 		out = append(out, tag)
 	}
 	sort.Strings(out)

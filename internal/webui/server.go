@@ -10,14 +10,17 @@ import (
 	"darshanldms/internal/analysis"
 	"darshanldms/internal/dsos"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/obs"
 )
 
 // Server is the dashboard: Grafana-like panels over the DSOS store plus a
 // JSON API the panels (or external tools) query. It optionally also exposes
-// LDMS metric sets for side-by-side system-behaviour correlation.
+// LDMS metric sets for side-by-side system-behaviour correlation and, via
+// AttachObs, the pipeline's own telemetry (a health panel + /metrics).
 type Server struct {
 	client *dsos.Client
 	ldms   []*ldms.Daemon
+	obs    *obs.Registry
 	mux    *http.ServeMux
 }
 
@@ -32,8 +35,22 @@ func NewServer(client *dsos.Client, ldmsDaemons []*ldms.Daemon) *Server {
 	s.mux.HandleFunc("/api/job/", s.handleJobAPI)
 	s.mux.HandleFunc("/chart/job/", s.handleJobChart)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("/api/grafana-dashboard", s.handleGrafanaExport)
 	return s
+}
+
+// AttachObs wires the pipeline's telemetry registry into the dashboard:
+// the index page gains a pipeline-health panel and /metrics serves the
+// registry in Prometheus text format. A nil registry detaches.
+func (s *Server) AttachObs(reg *obs.Registry) { s.obs = reg }
+
+func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.obs == nil {
+		http.NotFound(w, r)
+		return
+	}
+	obs.Handler(s.obs).ServeHTTP(w, r)
 }
 
 // ServeHTTP implements http.Handler.
@@ -63,6 +80,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "<li>job %d: %s</li>", a.JobID, a.Reason)
 		}
 		b.WriteString("</ul></div>")
+	}
+	if s.obs != nil {
+		// Pipeline health panel: the store chain's own telemetry, so a
+		// stalled ingest or a backed-up spool shows up on the same page
+		// as the jobs it is starving.
+		b.WriteString(`<h2>pipeline health</h2><div style="border:1px solid #ccc;padding:0.5em 1em;margin:1em 0">`)
+		b.WriteString(`<p><a href="/metrics">raw /metrics (Prometheus text)</a></p><pre>`)
+		for _, sm := range s.obs.Snapshot() {
+			fmt.Fprintf(&b, "%s %g\n", sm.Name, sm.Value)
+		}
+		b.WriteString("</pre></div>")
 	}
 	for _, j := range jobs {
 		fmt.Fprintf(&b, `<h2>job_id %d</h2>`, j)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test check chaos-smoke fuzz-smoke fuzz-corpus cover determinism-smoke bench bench-smoke bench-full experiments examples clean
+.PHONY: all build vet lint test check chaos-smoke streams-smoke fuzz-smoke fuzz-corpus cover determinism-smoke bench bench-smoke bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -34,6 +34,14 @@ check:
 chaos-smoke:
 	$(GO) test -race -run ChaosSoak ./internal/harness
 
+# CI-sized durable-stream soak: seeded schedules of consumer crashes,
+# stream reopens, link outages and lag past retention must audit clean
+# (no acked message lost, no duplicate stored, cursors monotone, drops
+# exactly accounted), and the legacy best-effort bus must demonstrably
+# lose data under the same schedules (CI runs this too).
+streams-smoke:
+	$(GO) test -race -short -run 'StreamSoak' ./internal/harness
+
 # Every parser-hardening fuzz target as package:Target pairs. fuzz-smoke
 # (local and in CI) iterates this list, and each target loads its checked-in
 # seed corpus from <package>/testdata/fuzz/<Target>/ (regenerate with
@@ -44,7 +52,9 @@ FUZZ_TARGETS ?= \
 	internal/jsonmsg:FuzzParse \
 	internal/ldms:FuzzReadFrame \
 	internal/ldms:FuzzReadBatchFrame \
-	internal/sos:FuzzRestore
+	internal/sos:FuzzRestore \
+	internal/streams:FuzzStreamCursor \
+	internal/streams:FuzzRetention
 
 # Short fuzz pass over every target in FUZZ_TARGETS (CI runs this too).
 FUZZTIME ?= 10s

@@ -17,6 +17,7 @@ import (
 	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -120,7 +121,83 @@ func main() {
 	write(sp, "FuzzRestore", "hostile-count-region",
 		append(append([]byte{}, snap[:16]...), bytes.Repeat([]byte{0xFF}, 32)...))
 
+	// --- streams.FuzzStreamCursor: durable segment recovery + cursor resume ---
+	// The first two bytes of each seed are the consumer StartSeq the target
+	// derives; the rest is segment (or record-body) bytes.
+	sm := "internal/streams"
+	seg := validSegment()
+	write(sm, "FuzzStreamCursor", "valid-segment", append([]byte{2, 0}, seg...))
+	write(sm, "FuzzStreamCursor", "torn-tail", append([]byte{1, 0}, seg[:len(seg)*3/4]...))
+	write(sm, "FuzzStreamCursor", "corrupt-mid-record", append([]byte{0, 0}, corrupt(seg, len(seg)/2)...))
+	write(sm, "FuzzStreamCursor", "future-start-seq", append([]byte{0xFF, 0xFF}, seg...))
+	// A frame whose declared string length is maximal: the record decoders'
+	// bounded-allocation path.
+	write(sm, "FuzzStreamCursor", "hostile-string-length",
+		[]byte{0, 0, 0x01, 9, 0, 0, 0, 0, 0, 0, 0, 0, 3, 0xFF, 0xFF, 0xFF, 0xFF})
+	write(sm, "FuzzStreamCursor", "empty", nil)
+
+	// --- streams.FuzzRetention: retention-policy op sequences ---
+	// Bytes 0-2 draw the policy (MaxMsgs, MaxBytes, MaxAge); then (op, arg)
+	// pairs: append sized payloads, jump the clock, crash and reopen.
+	write(sm, "FuzzRetention", "count-bound-churn",
+		append([]byte{4, 0, 0}, bytes.Repeat([]byte{0, 32}, 24)...))
+	write(sm, "FuzzRetention", "byte-bound-churn",
+		append([]byte{0, 2, 0}, bytes.Repeat([]byte{1, 255}, 24)...))
+	write(sm, "FuzzRetention", "age-with-clock-jumps",
+		append([]byte{0, 0, 3}, bytes.Repeat([]byte{0, 16, 2, 200}, 12)...))
+	write(sm, "FuzzRetention", "crash-reopen-cycle",
+		append([]byte{3, 3, 2}, bytes.Repeat([]byte{0, 24, 3, 0, 2, 50}, 8)...))
+	write(sm, "FuzzRetention", "all-bounds-tight",
+		append([]byte{1, 1, 1}, bytes.Repeat([]byte{0, 200, 2, 255, 3, 0}, 8)...))
+
 	fmt.Fprintf(os.Stderr, "dlc-fuzzcorpus: wrote %d seed files under %s\n", n, *root)
+}
+
+// validSegment builds a durable-stream segment through the public API: six
+// appends under count retention (drop markers), a consumer acking three
+// (cursor records), then the raw segment bytes.
+func validSegment() []byte {
+	wal := sos.NewMemWAL()
+	s, err := streams.OpenStream(streams.StreamConfig{
+		Name:      "seed",
+		Subjects:  []string{"darshan.>"},
+		Retention: streams.RetentionPolicy{MaxMsgs: 4},
+	}, wal)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if _, err := s.Append(streams.Message{
+			Tag: "darshan.nid00040.POSIX", Type: streams.TypeJSON,
+			Data:     []byte(fmt.Sprintf(`{"n":%d}`, i)),
+			Producer: "nid00040", Seq: uint64(i),
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	c, err := s.Consumer(streams.ConsumerConfig{Name: "seed-consumer"})
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := c.Fetch(3)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range ds {
+		if err := c.Ack(d.Seq); err != nil {
+			fatal(err)
+		}
+	}
+	r, err := wal.Open()
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	return data
 }
 
 // corrupt returns a copy of data with the byte at i inverted.

@@ -24,6 +24,7 @@ import (
 	"darshanldms/internal/obs"
 	"darshanldms/internal/replay"
 	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
 	"darshanldms/internal/webui"
 )
 
@@ -65,6 +66,7 @@ func main() {
 	reg := obs.NewRegistry()
 	clock := obs.WallClock()
 	ldms.CollectPools(reg)
+	var webStreams []*streams.DurableStream
 
 	if *replaySpeed > 0 {
 		// Serve a fresh store and stream the recorded campaign into it at
@@ -77,11 +79,53 @@ func main() {
 		client = dsos.Connect(serveCluster)
 		ingest := ldms.NewDaemon("web-ingest", "dashboard")
 		dstore := ldms.NewDSOSStore(client)
-		ingest.AttachStore(connector.DefaultTag, dstore)
 		serveCluster.Instrument(reg, clock)
 		dstore.Instrument(reg, clock)
 		ingest.Bus().Instrument("web-ingest", clock)
 		ingest.Bus().Collect(reg, "web-ingest")
+		// Stage the replay through a durable stream with a consumer-acked
+		// ingest loop — the same shape as dsosd -stream — so the
+		// dashboard's consumer-lag panel watches a real pipeline: the
+		// stream head advances with the replay and the ingest consumer's
+		// floor chases it.
+		stream, err := streams.OpenStream(streams.StreamConfig{
+			Name:      "web-ingest",
+			Subjects:  []string{connector.DefaultTag},
+			Retention: streams.RetentionPolicy{MaxMsgs: 100000},
+			Clock:     clock,
+		}, sos.NewMemWAL())
+		if err != nil {
+			fatal(err)
+		}
+		if err := ingest.Bus().BindStream(stream); err != nil {
+			fatal(err)
+		}
+		cons, err := stream.Consumer(streams.ConsumerConfig{Name: "ingest"})
+		if err != nil {
+			fatal(err)
+		}
+		deduped := ldms.NewDedupStore(dstore)
+		go func() {
+			for {
+				ds, err := cons.Fetch(64)
+				if err != nil {
+					return
+				}
+				if len(ds) == 0 {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				for _, del := range ds {
+					if serr := deduped.Store(del.Msg); serr != nil {
+						_ = cons.Nak(del.Seq)
+					} else if aerr := cons.Ack(del.Seq); aerr != nil {
+						return
+					}
+				}
+			}
+		}()
+		stream.Collect(reg)
+		webStreams = append(webStreams, stream)
 		go func() {
 			jobIDs, err := src.DistinctJobs()
 			if err != nil {
@@ -103,6 +147,7 @@ func main() {
 
 	srv := webui.NewServer(client, nil)
 	srv.AttachObs(reg)
+	srv.AttachStreams(webStreams...)
 	fmt.Fprintf(os.Stderr, "dlc-web: dashboard at http://localhost%s/ (pipeline health on / and /metrics)\n", *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fatal(err)

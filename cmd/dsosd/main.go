@@ -8,11 +8,21 @@
 // a crashed dsosd restarts with its data intact. With -replication R each
 // insert is written to R successive shards.
 //
+// With -stream the receive and store stages are decoupled by a durable
+// stream: every received message is appended to a CRC-framed segment file
+// before anything else, and a consumer-acked ingest loop feeds the shards
+// from it — acking a message only after its insert succeeded, naking it
+// for redelivery otherwise. A dsosd crash anywhere between receive and
+// insert then costs redelivery, not data, and a DedupStore absorbs the
+// redelivered overlap so the stored sequence stays exactly-once.
+//
 // Usage:
 //
 //	dsosd -listen :4420 -container darshan_data -snapshot data.sos
 //	      [-daemons 4] [-replication 2] [-wal ./wal]
 //	      [-snapshot-every 30s] [-tag darshanConnector]
+//	      [-stream dsosd.stream] [-stream-consumer ingest]
+//	      [-stream-max-msgs 100000]
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"darshanldms/internal/ldms"
 	"darshanldms/internal/obs"
 	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
 )
 
 func main() {
@@ -44,6 +55,9 @@ func main() {
 	daemons := flag.Int("daemons", 1, "DSOS shard count in this process")
 	repl := flag.Int("replication", 1, "replication factor R: each insert is written to R successive shards")
 	walDir := flag.String("wal", "", "write-ahead log directory (empty disables); shards replay their logs at startup")
+	streamPath := flag.String("stream", "", "durable ingest stream segment file; stages received messages before storing (empty = off)")
+	streamConsumer := flag.String("stream-consumer", "ingest", "durable consumer name for the ingest cursor")
+	streamMaxMsgs := flag.Int("stream-max-msgs", 100000, "ingest stream retention: max retained messages (0 = unbounded)")
 	flag.Parse()
 
 	// The DSOS cluster this dsosd owns: one or more container shards.
@@ -85,7 +99,62 @@ func main() {
 
 	d := ldms.NewDaemon("dsosd-ingest", "dsosd")
 	dstore := ldms.NewDSOSStore(client)
-	h := d.AttachStore(*tag, dstore)
+	var h *ldms.StoreHandle
+	var stream *streams.DurableStream
+	if *streamPath != "" {
+		// Durable staging: received messages hit the segment before any
+		// insert, and the ingest loop below consumes with acks. The direct
+		// bus->store attachment is skipped so every message takes exactly
+		// one path. The DedupStore makes the at-least-once redelivery of
+		// naked/unacked messages exactly-once in the shards.
+		fw, err := sos.OpenFileWAL(*streamPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer fw.Close()
+		stream, err = streams.OpenStream(streams.StreamConfig{
+			Name:      "dsosd-ingest",
+			Subjects:  []string{*tag},
+			Retention: streams.RetentionPolicy{MaxMsgs: *streamMaxMsgs},
+			Clock:     obs.WallClock(),
+		}, fw)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.Bus().BindStream(stream); err != nil {
+			fatal(err)
+		}
+		cons, err := stream.Consumer(streams.ConsumerConfig{Name: *streamConsumer})
+		if err != nil {
+			fatal(err)
+		}
+		deduped := ldms.NewDedupStore(dstore)
+		go func() {
+			for {
+				ds, err := cons.Fetch(64)
+				if err != nil {
+					return // consumer replaced or closed
+				}
+				if len(ds) == 0 {
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				for _, del := range ds {
+					if serr := deduped.Store(del.Msg); serr != nil {
+						_ = cons.Nak(del.Seq)
+						fmt.Fprintln(os.Stderr, "dsosd: ingest:", serr)
+					} else if aerr := cons.Ack(del.Seq); aerr != nil {
+						return
+					}
+				}
+			}
+		}()
+		st := stream.Stats()
+		fmt.Fprintf(os.Stderr, "dsosd: durable ingest stream %s: recovered seqs [%d,%d], consumer %q at floor %d\n",
+			*streamPath, st.FirstSeq, st.LastSeq, *streamConsumer, cons.AckFloor())
+	} else {
+		h = d.AttachStore(*tag, dstore)
+	}
 	srv, err := ldms.ListenTCP(d, *listen)
 	if err != nil {
 		fatal(err)
@@ -122,8 +191,14 @@ func main() {
 			}
 			snapShard(path, d)
 		}
+		stored := uint64(0)
+		if h != nil {
+			stored = h.Received()
+		} else if stream != nil {
+			stored = stream.Stats().Appended
+		}
 		fmt.Fprintf(os.Stderr, "dsosd: snapshot %s (%d shards, %d objects, %d stored)\n",
-			*snapshot, *daemons, client.Count(dsos.DarshanSchemaName), h.Received())
+			*snapshot, *daemons, client.Count(dsos.DarshanSchemaName), stored)
 	}
 
 	if *httpAddr != "" {
@@ -139,6 +214,9 @@ func main() {
 		srv.Instrument("tcp:dsosd", clock)
 		srv.Collect(reg, "dsosd")
 		ldms.CollectPools(reg)
+		if stream != nil {
+			stream.Collect(reg)
+		}
 		health := obs.NewHealth()
 		health.Register("cluster", cluster.ClusterHealth())
 

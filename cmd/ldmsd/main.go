@@ -13,6 +13,9 @@
 //	      [-reconnect] [-spool 1024] [-spool-policy drop-oldest]
 //	      [-heartbeat 5s] [-seed 42]
 //	      [-batch 32] [-batch-bytes 262144] [-batch-age 5ms]
+//	      [-stream ldmsd.stream] [-stream-subjects 'darshan.>']
+//	      [-stream-max-msgs 100000] [-stream-max-bytes 0] [-stream-max-age 0]
+//	      [-stream-consumer uplink]
 //
 // -seed pins the sampler RNG so fault campaigns against a real daemon are
 // reproducible; with -seed 0 (the default) the seed derives from the wall
@@ -25,6 +28,16 @@
 // -batch/-batch-bytes/-batch-age the resilient uplink coalesces spooled
 // messages into batched frames (count, byte and linger-age flush bounds);
 // typed records cross the wire in compact binary, never as JSON.
+//
+// -stream upgrades the daemon to durable streaming: every handled message
+// whose subject matches -stream-subjects (comma list, wildcards allowed;
+// default the -tag) is appended to a CRC-framed segment file before
+// best-effort fan-out, retained under the -stream-max-* bounds, and — when
+// -forward is also set — shipped upstream by a consumer-acked uplink that
+// survives crashes: the durable cursor (named by -stream-consumer) resumes
+// exactly where the previous incarnation's acks stopped, so an aggregator
+// or daemon restart costs redelivery, never data. -stream supersedes
+// -reconnect for the uplink (the stream is the spool).
 package main
 
 import (
@@ -42,6 +55,8 @@ import (
 	"darshanldms/internal/ldms"
 	"darshanldms/internal/obs"
 	"darshanldms/internal/rng"
+	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
 )
 
 func main() {
@@ -62,11 +77,54 @@ func main() {
 	batchBytes := flag.Int("batch-bytes", 0, "max payload bytes per batched uplink frame (0 = unbounded)")
 	batchAge := flag.Duration("batch-age", 0, "max linger before a partial batch is flushed (0 = no linger)")
 	seed := flag.Uint64("seed", 0, "sampler RNG seed; 0 derives one from the wall clock (nonreproducible)")
+	streamPath := flag.String("stream", "", "durable stream segment file; enables persistent, replayable streaming (empty = off)")
+	streamSubjects := flag.String("stream-subjects", "", "comma list of subject filters the stream captures (wildcards allowed; default the -tag)")
+	streamMaxMsgs := flag.Int("stream-max-msgs", 100000, "stream retention: max retained messages (0 = unbounded)")
+	streamMaxBytes := flag.Int64("stream-max-bytes", 0, "stream retention: max retained payload bytes (0 = unbounded)")
+	streamMaxAge := flag.Duration("stream-max-age", 0, "stream retention: max retained message age (0 = unbounded)")
+	streamConsumer := flag.String("stream-consumer", "uplink", "durable consumer name for the stream uplink cursor")
 	flag.Parse()
 
 	d := ldms.NewDaemon("ldmsd", *producer)
 	count := &ldms.CountStore{}
 	d.AttachStore(*tag, count)
+
+	var stream *streams.DurableStream
+	if *streamPath != "" {
+		subjects := []string{*tag}
+		if *streamSubjects != "" {
+			subjects = subjects[:0]
+			for _, s := range strings.Split(*streamSubjects, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					subjects = append(subjects, s)
+				}
+			}
+		}
+		wal, err := sos.OpenFileWAL(*streamPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer wal.Close()
+		stream, err = streams.OpenStream(streams.StreamConfig{
+			Name:     "ldmsd",
+			Subjects: subjects,
+			Retention: streams.RetentionPolicy{
+				MaxMsgs:  *streamMaxMsgs,
+				MaxBytes: *streamMaxBytes,
+				MaxAge:   *streamMaxAge,
+			},
+			Clock: obs.WallClock(),
+		}, wal)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.Bus().BindStream(stream); err != nil {
+			fatal(err)
+		}
+		st := stream.Stats()
+		fmt.Fprintf(os.Stderr, "ldmsd: durable stream %s (subjects %s): recovered seqs [%d,%d], %d retained, %d dropped\n",
+			*streamPath, strings.Join(subjects, ","), st.FirstSeq, st.LastSeq, st.Msgs, st.Dropped)
+	}
 
 	if *samplers != "" {
 		// An explicit -seed makes real-daemon fault campaigns reproducible:
@@ -110,8 +168,21 @@ func main() {
 	}
 	var fwd *ldms.ReconnectingForwarder
 	var uplink *ldms.TCPClient
+	var streamUp *ldms.StreamUplink
 	if *forward != "" {
-		if *reconnect {
+		if stream != nil {
+			var err error
+			streamUp, err = ldms.NewStreamUplink(stream, ldms.UplinkConfig{
+				Addr:     *forward,
+				Consumer: *streamConsumer,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer streamUp.Close()
+			fmt.Fprintf(os.Stderr, "ldmsd: stream uplink to %s (consumer %q, floor %d)\n",
+				*forward, *streamConsumer, streamUp.Stats().Consumer.AckFloor)
+		} else if *reconnect {
 			policy, err := ldms.ParseOverflowPolicy(*spoolPolicy)
 			if err != nil {
 				fatal(err)
@@ -178,6 +249,9 @@ func main() {
 		if uplink != nil {
 			uplink.Collect(reg, "uplink")
 		}
+		if stream != nil {
+			stream.Collect(reg)
+		}
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(reg))
 		mux.Handle("/healthz", health.Handler())
@@ -202,6 +276,14 @@ func main() {
 				line += fmt.Sprintf(" fwd-sent=%d fwd-spool=%d fwd-dropped=%d fwd-reconnects=%d connected=%v",
 					st.Sent, st.SpoolDepth, st.Dropped, st.Reconnects, st.Connected)
 			}
+			if streamUp != nil {
+				st := streamUp.Stats()
+				line += fmt.Sprintf(" stream-sent=%d stream-lag=%d stream-floor=%d connected=%v",
+					st.Sent, st.Consumer.Lag, st.Consumer.AckFloor, st.Connected)
+			} else if stream != nil {
+				st := stream.Stats()
+				line += fmt.Sprintf(" stream-msgs=%d stream-dropped=%d", st.Msgs, st.Dropped)
+			}
 			fmt.Fprintln(os.Stderr, line)
 		case <-sig:
 			if csv != nil {
@@ -210,6 +292,10 @@ func main() {
 			if fwd != nil {
 				// Give the spool a chance to drain before exiting.
 				_ = fwd.Flush(5 * time.Second)
+			}
+			if streamUp != nil {
+				// Best effort: whatever is not acked resumes next start.
+				_ = streamUp.Flush(5 * time.Second)
 			}
 			fmt.Fprintf(os.Stderr, "ldmsd: shutting down after %d messages\n", srv.Received())
 			return

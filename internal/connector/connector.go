@@ -27,6 +27,18 @@ import (
 // unique LDMS Stream tag for this data source").
 const DefaultTag = "darshanConnector"
 
+// SubjectPrefix roots the hierarchical subject space used when
+// Config.HierarchicalSubjects is on.
+const SubjectPrefix = "darshan"
+
+// Subject builds the hierarchical stream subject for one event:
+// "darshan.<producer>.<module>". Wildcard consumers filter on this shape
+// — "darshan.*.POSIX" for one module across nodes, "darshan.nid00040.>"
+// for one node across modules.
+func Subject(producer string, module darshan.Module) string {
+	return SubjectPrefix + "." + producer + "." + string(module)
+}
+
 // Config parameterizes the connector.
 type Config struct {
 	// Tag is the LDMS Streams tag; empty selects DefaultTag.
@@ -47,6 +59,13 @@ type Config struct {
 	// CPU cost is charged to the rank. True reproduces the paper's
 	// overhead numbers; false isolates pure event accounting.
 	ChargeOverhead bool
+	// HierarchicalSubjects publishes each message on the per-event subject
+	// Subject(producer, module) — "darshan.<producer>.<module>" — instead
+	// of the single flat tag, so wildcard subscriptions and durable-stream
+	// subject filters can select by node or module. Off by default: the
+	// flat tag is the paper's single-tag design and what every seeded
+	// table and figure subscribes to.
+	HierarchicalSubjects bool
 }
 
 // Stats counts connector activity.
@@ -171,7 +190,11 @@ func (c *Connector) OnEvent(ctx *darshan.Ctx, ev *darshan.Event) {
 	c.stats.Published++
 	// The (producer, seq) identity rides out-of-band on the stream message
 	// (the encoders keep the Table I payload bytes unchanged).
-	m := streams.Message{Tag: c.tag, Type: streams.TypeJSON, Producer: ev.Producer, Seq: msg.Seq}
+	tag := c.tag
+	if c.cfg.HierarchicalSubjects {
+		tag = Subject(ev.Producer, ev.Module)
+	}
+	m := streams.Message{Tag: tag, Type: streams.TypeJSON, Producer: ev.Producer, Seq: msg.Seq}
 	if c.lossy {
 		// Ablation encoders discard the fields on purpose; keep their
 		// placeholder payload eager so downstream sees exactly what the

@@ -11,6 +11,7 @@ import (
 	"darshanldms/internal/rng"
 	"darshanldms/internal/sim"
 	"darshanldms/internal/simfs"
+	"darshanldms/internal/streams"
 )
 
 type env struct {
@@ -273,4 +274,47 @@ func TestNilRouterPanics(t *testing.T) {
 		}
 	}()
 	New(Config{}, nil)
+}
+
+// TestHierarchicalSubjects: with the opt-in on, each event publishes on
+// darshan.<producer>.<module> so wildcard subscribers and durable-stream
+// subject filters can select slices of the event flow. The flat-tag
+// subscriber sees nothing — the connector publishes on exactly one
+// subject per event.
+func TestHierarchicalSubjects(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	fscfg := simfs.DefaultNFS()
+	fscfg.ShortWriteBase = -1
+	fscfg.OpenRetryBase = -1
+	fs := simfs.New(e, fscfg, rng.New(7).Derive("fs"))
+	rt := darshan.NewRuntime(darshan.Config{JobID: 1}, 0)
+	d := ldms.NewDaemon("node", "nid00040")
+
+	var posix, anyNode, flat int
+	d.Bus().Subscribe(Subject("nid00040", darshan.ModPOSIX), func(streams.Message) { posix++ })
+	d.Bus().Subscribe("darshan.*.POSIX", func(streams.Message) { anyNode++ })
+	d.Bus().Subscribe(DefaultTag, func(streams.Message) { flat++ })
+
+	c := Attach(rt, Config{Encoder: jsonmsg.FastEncoder{}, HierarchicalSubjects: true},
+		func(string) *ldms.Daemon { return d })
+	e.Spawn("rank0", func(p *sim.Proc) {
+		ctx := darshan.NewCtx(0, "nid00040", p, nil)
+		f := darshan.OpenPosix(rt, fs, ctx, "/nscratch/o", true)
+		f.Write(p, 0, 4096)
+		f.Close(p)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Published != 3 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if posix != 3 || anyNode != 3 || flat != 0 {
+		t.Fatalf("posix=%d anyNode=%d flat=%d, want 3/3/0", posix, anyNode, flat)
+	}
+	if got := Subject("nid00040", darshan.ModPOSIX); got != "darshan.nid00040.POSIX" {
+		t.Fatalf("Subject = %q", got)
+	}
 }

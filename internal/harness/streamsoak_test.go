@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamSoakInvariants is the durable-stream acceptance gate: 20
+// randomized (seeded) schedules of consumer crashes, stream reopens, link
+// outages, flaky-store windows and lag windows past retention, with zero
+// invariant violations — while the legacy best-effort bus, under the same
+// schedules, demonstrably loses data.
+func TestStreamSoakInvariants(t *testing.T) {
+	cfg := DefaultStreamSoakConfig(7)
+	if testing.Short() {
+		cfg.Schedules = 5
+	}
+	res, err := StreamSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("invariant violations:\n%s", RenderStreamSoak(res))
+	}
+
+	// The soak only proves something if the faults actually fired and the
+	// recovery machinery actually ran.
+	var crashes, reopens, outages, pauses int
+	var drops, redeliv, deduped, naks uint64
+	for _, r := range res.Runs {
+		crashes += r.ConsumerCrashes
+		reopens += r.StreamReopens
+		outages += r.LinkOutages
+		pauses += r.Pauses
+		drops += r.RetentionDrops
+		redeliv += r.Redelivered
+		deduped += r.Deduped
+		naks += r.Naks
+	}
+	if crashes == 0 || reopens == 0 || outages == 0 || pauses == 0 {
+		t.Fatalf("soak too tame: crashes=%d reopens=%d outages=%d pauses=%d", crashes, reopens, outages, pauses)
+	}
+	if drops == 0 {
+		t.Fatal("no schedule lagged past retention; the drop-accounting invariant went unexercised")
+	}
+	if naks == 0 || redeliv == 0 {
+		t.Fatalf("no redelivery traffic (naks=%d redelivered=%d); the flaky windows went unexercised", naks, redeliv)
+	}
+	if deduped == 0 {
+		t.Fatal("no duplicates absorbed; the link replay tails went unexercised")
+	}
+	if res.LegacyLost == 0 {
+		t.Fatalf("the legacy best-effort bus lost nothing under these schedules:\n%s", RenderStreamSoak(res))
+	}
+}
+
+// TestStreamSoakDeterministic: the soak is a seeded experiment — the
+// whole rendered report must replay bit-for-bit.
+func TestStreamSoakDeterministic(t *testing.T) {
+	cfg := DefaultStreamSoakConfig(11)
+	cfg.Schedules = 3
+	a, err := StreamSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StreamSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := RenderStreamSoak(a), RenderStreamSoak(b)
+	if ra != rb {
+		t.Fatalf("soak not deterministic:\n--- first\n%s\n--- second\n%s", ra, rb)
+	}
+	if !strings.Contains(ra, "stream-00") {
+		t.Fatalf("render missing schedule rows:\n%s", ra)
+	}
+}
+
+// TestRenderStreamSoakViolations: a failing soak must surface every
+// violation in the rendered report, not just a count.
+func TestRenderStreamSoakViolations(t *testing.T) {
+	res := &StreamSoakResult{
+		Label: "durable",
+		Runs: []StreamRunResult{{
+			Schedule:   "stream-00",
+			Violations: []string{"acked message 7 missing from store"},
+		}},
+		Violations: 1,
+	}
+	out := RenderStreamSoak(res)
+	for _, want := range []string{"VIOLATED (1)", "stream-00 violations:", "acked message 7 missing from store"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// The store plugins name themselves for daemon attachment diagnostics.
+	ids := newIDStore()
+	if ids.Name() != "soak-ids" {
+		t.Fatalf("idStore.Name() = %q", ids.Name())
+	}
+	g := &gateStore{inner: ids}
+	if g.Name() != "gate(soak-ids)" {
+		t.Fatalf("gateStore.Name() = %q", g.Name())
+	}
+}

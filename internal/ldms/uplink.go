@@ -1,0 +1,338 @@
+package ldms
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"darshanldms/internal/rng"
+	"darshanldms/internal/streams"
+)
+
+// StreamUplink forwards a durable stream to a remote daemon over TCP,
+// sourcing from a named streams.Consumer instead of a volatile bus
+// subscription. Where the ReconnectingForwarder's spool dies with the
+// process (bounded memory, counted drops), the uplink's backlog is the
+// stream itself: a message is acked only after its frame reached the
+// socket, so a crash — of the uplink, the process, or the whole node —
+// resumes from the durable cursor and re-sends anything unacked.
+// Delivery is therefore at-least-once end to end; pair the receiving
+// store with a DedupStore for exactly-once effect.
+type StreamUplink struct {
+	cfg    UplinkConfig
+	stream *streams.DurableStream
+	cons   *streams.Consumer
+	jr     *rng.Stream
+
+	connMu sync.Mutex
+	conn   net.Conn
+	bw     *bufio.Writer
+	dials  uint64
+
+	mu     sync.Mutex
+	sent   uint64
+	naks   uint64
+	closed bool
+
+	wireBytes atomic.Uint64
+	framesOut atomic.Uint64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// UplinkConfig parameterizes a StreamUplink. The zero value of every
+// optional field selects a sensible default.
+type UplinkConfig struct {
+	Addr     string // remote daemon address (required)
+	Consumer string // durable consumer name (default "uplink")
+	Filter   string // consumer subject filter (default everything)
+
+	// BatchSize bounds how many messages one fetch round sends (default
+	// 64); MaxInflight bounds the consumer's unacked window (default
+	// 2 x BatchSize).
+	BatchSize   int
+	MaxInflight int
+
+	// AckWait is the consumer redelivery deadline — how long a fetched-
+	// but-unacked message (e.g. lost when the process died mid-send on a
+	// previous incarnation's cursor) waits before the stream offers it
+	// again. Default 30s.
+	AckWait time.Duration
+
+	// PollEvery is the idle poll interval when the stream has nothing to
+	// deliver (default 10ms).
+	PollEvery time.Duration
+
+	// Reconnect backoff, as in ForwarderConfig.
+	InitialBackoff    time.Duration // default 50ms
+	MaxBackoff        time.Duration // default 5s
+	BackoffMultiplier float64       // default 2.0
+	Jitter            float64       // default 0.2
+	DialTimeout       time.Duration // default 2s
+
+	// Seed seeds the backoff jitter stream (0 derives from the clock).
+	Seed uint64
+}
+
+func (cfg *UplinkConfig) setDefaults() {
+	if cfg.Consumer == "" {
+		cfg.Consumer = "uplink"
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * cfg.BatchSize
+	}
+	if cfg.AckWait <= 0 {
+		cfg.AckWait = 30 * time.Second
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = 10 * time.Millisecond
+	}
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.BackoffMultiplier < 1 {
+		cfg.BackoffMultiplier = 2.0
+	}
+	if cfg.Jitter <= 0 || cfg.Jitter > 1 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = uint64(time.Now().UnixNano())
+	}
+}
+
+// UplinkStats is a snapshot of an uplink's counters plus its consumer's
+// delivery state.
+type UplinkStats struct {
+	Sent      uint64 // frames written and acked
+	Naks      uint64 // send failures handed back for redelivery
+	Dials     uint64
+	Connected bool
+	Consumer  streams.ConsumerStats
+}
+
+// NewStreamUplink claims (or resumes) the durable consumer on s and
+// starts the delivery worker. The first connection is dialed lazily.
+func NewStreamUplink(s *streams.DurableStream, cfg UplinkConfig) (*StreamUplink, error) {
+	if s == nil {
+		return nil, errors.New("ldms: uplink needs a stream")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("ldms: uplink needs an address")
+	}
+	cfg.setDefaults()
+	cons, err := s.Consumer(streams.ConsumerConfig{
+		Name:        cfg.Consumer,
+		Filter:      cfg.Filter,
+		MaxInflight: cfg.MaxInflight,
+		AckWait:     cfg.AckWait,
+	})
+	if err != nil {
+		return nil, err
+	}
+	u := &StreamUplink{
+		cfg:    cfg,
+		stream: s,
+		cons:   cons,
+		jr:     rng.New(cfg.Seed),
+		done:   make(chan struct{}),
+	}
+	u.wg.Add(1)
+	go u.run()
+	return u, nil
+}
+
+// run is the delivery worker: fetch a batch from the consumer, send each
+// frame, ack on success, nak (for immediate redelivery) on failure.
+func (u *StreamUplink) run() {
+	defer u.wg.Done()
+	backoff := u.cfg.InitialBackoff
+	for {
+		select {
+		case <-u.done:
+			return
+		default:
+		}
+		ds, err := u.cons.Fetch(u.cfg.BatchSize)
+		if err != nil || len(ds) == 0 {
+			// Closed consumer (replaced by a successor) ends the worker;
+			// an empty stream just waits for the next poll.
+			if err != nil {
+				return
+			}
+			if !u.pause(u.cfg.PollEvery) {
+				return
+			}
+			continue
+		}
+		failed := false
+		for _, d := range ds {
+			if failed {
+				// The link is down: hand the rest back without burning a
+				// dial attempt per message.
+				u.nak(d.Seq)
+				continue
+			}
+			if err := u.sendFrame(d.Msg); err != nil {
+				u.nak(d.Seq)
+				failed = true
+				continue
+			}
+			if err := u.cons.Ack(d.Seq); err != nil {
+				return // consumer replaced mid-flight
+			}
+			u.mu.Lock()
+			u.sent++
+			u.mu.Unlock()
+		}
+		if failed {
+			if !u.pause(u.jitter(backoff)) {
+				return
+			}
+			backoff = time.Duration(float64(backoff) * u.cfg.BackoffMultiplier)
+			if backoff > u.cfg.MaxBackoff {
+				backoff = u.cfg.MaxBackoff
+			}
+			continue
+		}
+		backoff = u.cfg.InitialBackoff
+	}
+}
+
+// nak hands one delivery back for redelivery, counting it.
+func (u *StreamUplink) nak(seq uint64) {
+	if u.cons.Nak(seq) == nil {
+		u.mu.Lock()
+		u.naks++
+		u.mu.Unlock()
+	}
+}
+
+// sendFrame writes one frame, dialing first if necessary; any error tears
+// the connection down for a fresh dial.
+func (u *StreamUplink) sendFrame(m streams.Message) error {
+	u.connMu.Lock()
+	defer u.connMu.Unlock()
+	if u.conn == nil {
+		conn, err := net.DialTimeout("tcp", u.cfg.Addr, u.cfg.DialTimeout)
+		if err != nil {
+			return err
+		}
+		u.conn = conn
+		u.bw = bufio.NewWriter(&countingWriter{w: conn, n: &u.wireBytes})
+		u.dials++
+		go u.monitor(conn)
+	}
+	if err := WriteFrame(u.bw, m); err != nil {
+		u.teardownLocked()
+		return err
+	}
+	if err := u.bw.Flush(); err != nil {
+		u.teardownLocked()
+		return err
+	}
+	u.framesOut.Add(1)
+	return nil
+}
+
+// monitor marks the connection dead as soon as the peer closes it.
+func (u *StreamUplink) monitor(conn net.Conn) {
+	var b [1]byte
+	conn.Read(b[:]) // blocks until close/reset (server sends nothing)
+	u.connMu.Lock()
+	if u.conn == conn {
+		u.teardownLocked()
+	}
+	u.connMu.Unlock()
+}
+
+// teardownLocked closes and forgets the connection (connMu held).
+func (u *StreamUplink) teardownLocked() {
+	if u.conn != nil {
+		u.conn.Close()
+		u.conn = nil
+		u.bw = nil
+	}
+}
+
+// jitter scales d by a uniform factor in [1-Jitter, 1+Jitter).
+func (u *StreamUplink) jitter(d time.Duration) time.Duration {
+	u.connMu.Lock()
+	f := u.jr.Float64()
+	u.connMu.Unlock()
+	return time.Duration(float64(d) * (1 + u.cfg.Jitter*(2*f-1)))
+}
+
+// pause sleeps for d, returning false if the uplink closed meanwhile.
+func (u *StreamUplink) pause(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-u.done:
+		return false
+	}
+}
+
+// Stats returns a snapshot of the uplink's counters.
+func (u *StreamUplink) Stats() UplinkStats {
+	u.mu.Lock()
+	st := UplinkStats{Sent: u.sent, Naks: u.naks}
+	u.mu.Unlock()
+	u.connMu.Lock()
+	st.Dials = u.dials
+	st.Connected = u.conn != nil
+	u.connMu.Unlock()
+	st.Consumer = u.cons.Stats()
+	return st
+}
+
+// Flush waits until the consumer has caught up with the stream head
+// (nothing pending, nothing inflight), up to timeout.
+func (u *StreamUplink) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		cs := u.cons.Stats()
+		if cs.Lag == 0 && cs.Inflight == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("ldms: uplink flush timed out")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the worker and releases the connection. The durable cursor
+// survives: a successor uplink with the same consumer name resumes where
+// this one stopped.
+func (u *StreamUplink) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	close(u.done)
+	u.mu.Unlock()
+	u.wg.Wait()
+	u.connMu.Lock()
+	u.teardownLocked()
+	u.connMu.Unlock()
+	u.cons.Close()
+	return nil
+}

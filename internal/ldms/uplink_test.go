@@ -1,0 +1,194 @@
+package ldms
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
+)
+
+func fastUplink(addr string) UplinkConfig {
+	return UplinkConfig{
+		Addr:           addr,
+		PollEvery:      time.Millisecond,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     10 * time.Millisecond,
+		DialTimeout:    200 * time.Millisecond,
+		AckWait:        100 * time.Millisecond,
+		Seed:           1,
+	}
+}
+
+func openTestStream(t *testing.T, wal sos.WALStore) *streams.DurableStream {
+	t.Helper()
+	s, err := streams.OpenStream(streams.StreamConfig{
+		Name:  "fwd",
+		Clock: func() time.Duration { return time.Duration(time.Now().UnixNano()) },
+	}, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func appendSeq(t *testing.T, s *streams.DurableStream, i int) {
+	t.Helper()
+	_, err := s.Append(streams.Message{
+		Tag: "darshanConnector", Type: streams.TypeJSON,
+		Data:     []byte(fmt.Sprintf(`{"seq":%d}`, i)),
+		Producer: "nid00040", Seq: uint64(i),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamUplinkDelivers is the basic path: messages appended to a
+// durable stream arrive at the remote daemon, acked as they go.
+func TestStreamUplinkDelivers(t *testing.T) {
+	agg := NewDaemon("agg", "head")
+	srv, err := ListenTCP(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	store := &seqStore{}
+	agg.AttachStore("darshanConnector", store)
+
+	s := openTestStream(t, sos.NewMemWAL())
+	for i := 0; i < 5; i++ {
+		appendSeq(t, s, i)
+	}
+	u, err := NewStreamUplink(s, fastUplink(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery", func() bool { return len(store.Seqs()) == 5 })
+	st := u.Stats()
+	if st.Sent != 5 || st.Consumer.AckFloor != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestStreamUplinkSurvivesAggregatorRestart mirrors the forwarder's
+// acceptance scenario on the durable path: the aggregator dies
+// mid-stream, messages keep accumulating in the stream (not a volatile
+// spool), and after a restart on the same address everything unacked is
+// delivered — nothing lost, no overflow policy needed.
+func TestStreamUplinkSurvivesAggregatorRestart(t *testing.T) {
+	agg := NewDaemon("agg", "head")
+	srv, err := ListenTCP(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	s := openTestStream(t, sos.NewMemWAL())
+	u, err := NewStreamUplink(s, fastUplink(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	for i := 0; i < 5; i++ {
+		appendSeq(t, s, i)
+	}
+	waitFor(t, "first batch", func() bool { return srv.Received() == 5 })
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "disconnect detection", func() bool { return !u.Stats().Connected })
+	for i := 5; i < 15; i++ {
+		appendSeq(t, s, i)
+	}
+	waitFor(t, "outage naks", func() bool { return u.Stats().Naks >= 1 })
+
+	agg2 := NewDaemon("agg", "head")
+	store := &seqStore{}
+	agg2.AttachStore("darshanConnector", store)
+	srv2, err := ListenTCP(agg2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "catch-up", func() bool { return srv2.Received() >= 10 })
+	if st := u.Stats(); st.Consumer.AckFloor != 15 {
+		t.Fatalf("ack floor %d, want 15", st.Consumer.AckFloor)
+	}
+}
+
+// TestStreamUplinkCrashResumesFromCursor is the durable half the
+// forwarder cannot offer: the uplink (and its stream object) is torn
+// down entirely — a process crash — and a successor reopened from the
+// same segment resumes from the acked floor, re-sending only what was
+// never acked. A DedupStore on the receiver absorbs the overlap, so the
+// stored sequence is exactly-once.
+func TestStreamUplinkCrashResumesFromCursor(t *testing.T) {
+	agg := NewDaemon("agg", "head")
+	srv, err := ListenTCP(agg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	inner := &seqStore{}
+	store := NewDedupStore(inner)
+	agg.AttachStore("darshanConnector", store)
+
+	wal := sos.NewMemWAL()
+	s := openTestStream(t, wal)
+	for i := 0; i < 6; i++ {
+		appendSeq(t, s, i)
+	}
+	u, err := NewStreamUplink(s, fastUplink(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	u.Close() // "crash": only the segment bytes survive
+
+	s2 := openTestStream(t, wal)
+	for i := 6; i < 10; i++ {
+		appendSeq(t, s2, i)
+	}
+	u2, err := NewStreamUplink(s2, fastUplink(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u2.Close()
+	if err := u2.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "resumed delivery", func() bool { return len(inner.Seqs()) == 10 })
+	seqs := inner.Seqs()
+	for i, got := range seqs {
+		if got != i {
+			t.Fatalf("stored seqs %v, want 0..9 exactly once", seqs)
+		}
+	}
+	if st := u2.Stats(); st.Consumer.AckFloor != 10 {
+		t.Fatalf("successor floor %d, want 10", st.Consumer.AckFloor)
+	}
+}
+
+func TestStreamUplinkConfigValidation(t *testing.T) {
+	if _, err := NewStreamUplink(nil, UplinkConfig{Addr: "x"}); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	s := openTestStream(t, sos.NewMemWAL())
+	if _, err := NewStreamUplink(s, UplinkConfig{}); err == nil {
+		t.Fatal("addressless uplink accepted")
+	}
+}

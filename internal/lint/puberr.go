@@ -16,11 +16,14 @@ var puberrCheck = &Check{
 // nobody notices until the anomaly table is wrong. Insert/Append cover the
 // durable DSOS ingest path (a dropped insert or WAL append error breaks the
 // ack contract); Restart/Recover cover crash recovery, where a swallowed
-// error leaves a shard silently empty.
+// error leaves a shard silently empty. Ack/Nak/Fetch/AppendStream cover the
+// durable-stream consumer protocol: a swallowed Ack error stalls the floor
+// (redelivery storms), a swallowed Fetch error looks like an empty stream.
 var pubErrNames = map[string]bool{
 	"Publish": true, "PublishJSON": true, "PublishString": true,
 	"Store": true, "Ingest": true,
 	"Insert": true, "Append": true, "Restart": true, "Recover": true,
+	"Ack": true, "Nak": true, "Fetch": true, "AppendStream": true,
 }
 
 // runPuberr flags bare expression statements calling a pubErrNames method

@@ -25,18 +25,37 @@ func (f *Forwarder) Append(b []byte) error { return nil }
 // Restart recovers a crashed daemon; the error leaves it empty.
 func (f *Forwarder) Restart() error { return nil }
 
+// Consumer mimics the durable-stream consumer protocol.
+type Consumer struct{}
+
+// Ack advances the durable floor; a dropped error stalls redelivery.
+func (c *Consumer) Ack(seq uint64) error { return nil }
+
+// Nak schedules redelivery; a dropped error strands the message.
+func (c *Consumer) Nak(seq uint64) error { return nil }
+
+// Fetch pulls the next batch; a dropped error looks like an empty stream.
+func (c *Consumer) Fetch(n int) ([]byte, error) { return nil, nil }
+
+// AppendStream persists a published message to the stream segment.
+func (c *Consumer) AppendStream(b []byte) (uint64, error) { return 0, nil }
+
 // Bad drops delivery errors on the floor.
-func Bad(f *Forwarder, b []byte) {
-	f.Publish(b) // want puberr
-	f.Store(b)   // want puberr
-	f.Ingest(b)  // want puberr
-	f.Insert(b)  // want puberr
-	f.Append(b)  // want puberr
-	f.Restart()  // want puberr
+func Bad(f *Forwarder, c *Consumer, b []byte) {
+	f.Publish(b)      // want puberr
+	f.Store(b)        // want puberr
+	f.Ingest(b)       // want puberr
+	f.Insert(b)       // want puberr
+	f.Append(b)       // want puberr
+	f.Restart()       // want puberr
+	c.Ack(1)          // want puberr
+	c.Nak(1)          // want puberr
+	c.Fetch(16)       // want puberr
+	c.AppendStream(b) // want puberr
 }
 
 // Good handles, visibly discards, or annotates.
-func Good(f *Forwarder, b []byte) error {
+func Good(f *Forwarder, c *Consumer, b []byte) error {
 	if err := f.Publish(b); err != nil {
 		return err
 	}
@@ -44,5 +63,9 @@ func Good(f *Forwarder, b []byte) error {
 	f.Count(b)     // non-error result: allowed
 	//lint:allow puberr fixture: fire-and-forget fan-out, drops are counted upstream
 	f.Publish(b)
+	if err := c.Ack(1); err != nil {
+		return err
+	}
+	_ = c.Nak(1) // poison-message give-up, deliberately visible: allowed
 	return nil
 }

@@ -3,6 +3,7 @@ package sos
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -72,17 +73,76 @@ func (w *WAL) Append(schema string, obj Object, origin uint64) error {
 	if err != nil {
 		return err
 	}
-	rec := make([]byte, 8+len(body))
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(body))
-	copy(rec[8:], body)
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, err := w.st.Write(rec); err != nil {
+	if err := AppendFrame(w.st, body); err != nil {
 		return fmt.Errorf("sos: wal append: %w", err)
 	}
 	w.appended++
 	return nil
+}
+
+// AppendFrame writes one length+CRC framed record to the store, in a
+// single Write call so a torn write can only truncate, never interleave.
+// It is the generic layer under WAL.Append; other durable logs (the
+// streams package's durable-stream segments) share it so every
+// append-only file in the system has the same framing and the same
+// torn-tail recovery story.
+func AppendFrame(st WALStore, body []byte) error {
+	if len(body) == 0 || len(body) > walMaxRecord {
+		return fmt.Errorf("sos: frame body of %d bytes", len(body))
+	}
+	rec := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(body))
+	copy(rec[8:], body)
+	_, err := st.Write(rec)
+	return err
+}
+
+// ErrStopReplay, returned by a ReplayFrames apply callback, stops the
+// replay cleanly at the frame *before* the current one: the frame is not
+// counted and its bytes are not consumed, exactly as if it were torn.
+// Decoders use it to treat structurally corrupt (but CRC-clean) records
+// as the tail of a crash.
+var ErrStopReplay = errors.New("sos: stop replay")
+
+// ReplayFrames reads length+CRC framed records from the store and calls
+// apply for each body, in append order. It stops silently at a torn or
+// corrupt tail and returns the number of frames applied plus the clean
+// bytes consumed, so a file backing can truncate the garbage. An apply
+// error aborts the replay, except ErrStopReplay which stops it cleanly.
+func ReplayFrames(st WALStore, apply func(body []byte) error) (frames int, consumed int64, err error) {
+	r, err := st.Open()
+	if err != nil {
+		return 0, 0, fmt.Errorf("sos: wal open: %w", err)
+	}
+	defer r.Close()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return frames, consumed, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n == 0 || n > walMaxRecord {
+			return frames, consumed, nil // corrupt length: torn tail
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return frames, consumed, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return frames, consumed, nil // corrupt body
+		}
+		if aerr := apply(body); aerr != nil {
+			if errors.Is(aerr, ErrStopReplay) {
+				return frames, consumed, nil
+			}
+			return frames, consumed, aerr
+		}
+		frames++
+		consumed += int64(8 + n)
+	}
 }
 
 // Value type tags in WAL records.
@@ -134,37 +194,17 @@ func appendU32(b []byte, v uint32) []byte {
 // plus the number of clean bytes consumed, so a file backing can truncate
 // the tail before appending resumes. An apply error aborts the replay.
 func ReplayWAL(st WALStore, apply func(schema string, obj Object, origin uint64) error) (records int, consumed int64, err error) {
-	r, err := st.Open()
-	if err != nil {
-		return 0, 0, fmt.Errorf("sos: wal open: %w", err)
-	}
-	defer r.Close()
-	var hdr [8]byte
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return records, consumed, nil // clean EOF or torn header
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		if n == 0 || n > walMaxRecord {
-			return records, consumed, nil // corrupt length: torn tail
-		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return records, consumed, nil // torn body
-		}
-		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
-			return records, consumed, nil // corrupt body
-		}
+	records, consumed, err = ReplayFrames(st, func(body []byte) error {
 		schema, obj, origin, derr := decodeWALBody(body)
 		if derr != nil {
-			return records, consumed, nil // corrupt structure
+			return ErrStopReplay // corrupt structure: treat as torn tail
 		}
-		if aerr := apply(schema, obj, origin); aerr != nil {
-			return records, consumed, fmt.Errorf("sos: wal replay: %w", aerr)
-		}
-		records++
-		consumed += int64(8 + n)
+		return apply(schema, obj, origin)
+	})
+	if err != nil {
+		return records, consumed, fmt.Errorf("sos: wal replay: %w", err)
 	}
+	return records, consumed, nil
 }
 
 func decodeWALBody(b []byte) (schema string, obj Object, origin uint64, err error) {

@@ -1,0 +1,411 @@
+package streams
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"darshanldms/internal/sos"
+)
+
+// Consumer is a durable, acknowledged cursor over a DurableStream —
+// the JetStream-shaped contract that lets a subscriber lag, crash and
+// catch up without perturbing publishers. Delivery is pull-based
+// (Fetch), at-least-once, flow-controlled by a max-inflight window, and
+// redelivered on deadline with capped exponential backoff:
+//
+//	          Fetch                 Ack
+//	pending ───────▶ inflight ───────────▶ acked ──▶ floor advances
+//	  ▲                │  │                           (durable cursor)
+//	  │   deadline/Nak │  │ MaxDeliver exceeded
+//	  └────────────────┘  └──────▶ dead-lettered (counted, skipped)
+//
+// The acked floor — every sequence at or below it is acked, skipped or
+// dead-lettered — is checkpointed to the stream's WAL segment whenever
+// it advances, so a restarted consumer resumes exactly where its durable
+// cursor left off. Messages acked out of order above the floor are
+// remembered in memory only: after a crash they are redelivered, never
+// skipped, keeping the contract at-least-once (pair the handler with an
+// ldms.DedupStore for exactly-once effect). The floor is monotone by
+// construction; it never moves backward, crash or no crash.
+type Consumer struct {
+	s           *DurableStream
+	name        string
+	filter      string
+	maxInflight int
+	ackWait     time.Duration
+	backoffMax  time.Duration
+	maxDeliver  int
+
+	// All mutable state below is guarded by s.mu.
+	floor   uint64
+	acked   map[uint64]struct{} // acked/skipped above the floor
+	infl    map[uint64]*inflightMsg
+	nextSeq uint64 // next never-considered sequence
+	closed  bool
+
+	delivered    uint64
+	redelivered  uint64
+	ackedCount   uint64
+	naks         uint64
+	filtered     uint64 // skipped: subject outside the consumer's filter
+	missed       uint64 // skipped: evicted by retention before delivery
+	deadLettered uint64
+}
+
+// inflightMsg tracks one delivered-but-unacked message.
+type inflightMsg struct {
+	deliveries int           // times delivered so far (>= 1)
+	due        time.Duration // when redelivery becomes eligible
+}
+
+// ConsumerConfig parameterizes a Consumer. The zero value of every
+// optional field selects a sensible default.
+type ConsumerConfig struct {
+	// Name is the durable consumer identity (required): cursors are
+	// checkpointed under it and a later Consumer call with the same name
+	// resumes from its floor.
+	Name string
+	// Filter restricts delivery to matching subjects (wildcards
+	// allowed); non-matching sequences are skipped and the cursor
+	// advances over them. Default ">" (everything).
+	Filter string
+	// StartSeq is where a consumer with no durable cursor begins
+	// (replay-from-sequence for late joiners). 0 or 1 starts at the
+	// stream's first retained message.
+	StartSeq uint64
+	// MaxInflight is the flow-control window: the number of unacked
+	// deliveries the consumer may hold. Default 64.
+	MaxInflight int
+	// AckWait is the base redelivery deadline: a delivery unacked after
+	// AckWait becomes eligible again, with the deadline doubling per
+	// redelivery up to BackoffMax. Default 30s.
+	AckWait time.Duration
+	// BackoffMax caps the exponential redelivery deadline. Default
+	// 8 x AckWait.
+	BackoffMax time.Duration
+	// MaxDeliver, when positive, bounds deliveries per message: a
+	// message exceeding it is dead-lettered (counted, cursor advances)
+	// instead of redelivered forever. Default 0 (unlimited).
+	MaxDeliver int
+}
+
+// Errors returned by consumer operations.
+var (
+	// ErrConsumerClosed is returned by operations on a closed consumer.
+	ErrConsumerClosed = errors.New("streams: consumer closed")
+	// ErrNotInflight is returned by Ack/Nak for a sequence that is not
+	// currently inflight (and, for Ack, not already acked).
+	ErrNotInflight = errors.New("streams: sequence not inflight")
+)
+
+// Delivery is one fetched message.
+type Delivery struct {
+	Seq        uint64 // stream sequence (the Ack/Nak handle)
+	Deliveries int    // 1 for a first delivery, 2+ for redeliveries
+	Msg        Message
+}
+
+// ConsumerStats is a point-in-time snapshot of one consumer.
+type ConsumerStats struct {
+	Name         string
+	Filter       string
+	AckFloor     uint64 // every sequence <= this is settled
+	Lag          uint64 // stream head minus floor: how far behind
+	Inflight     int    // delivered, unacked
+	Delivered    uint64 // first deliveries
+	Redelivered  uint64 // deadline/Nak redeliveries
+	Acked        uint64
+	Naks         uint64
+	Filtered     uint64 // skipped, subject outside filter
+	Missed       uint64 // skipped, evicted by retention before delivery
+	DeadLettered uint64
+	Closed       bool
+}
+
+// Consumer returns the named durable consumer, resuming from its
+// checkpointed floor when one exists (cfg.StartSeq applies only to a
+// brand-new cursor). Claiming a name that is already live replaces the
+// previous instance — the modeling of a crashed consumer process whose
+// successor reattaches — and the replaced instance is closed.
+func (s *DurableStream) Consumer(cfg ConsumerConfig) (*Consumer, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("streams: consumer needs a name")
+	}
+	if cfg.Filter == "" {
+		cfg.Filter = TailWildcard
+	}
+	if !ValidFilter(cfg.Filter) {
+		return nil, fmt.Errorf("streams: consumer %q: invalid filter %q", cfg.Name, cfg.Filter)
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.AckWait <= 0 {
+		cfg.AckWait = 30 * time.Second
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 8 * cfg.AckWait
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.consumers[cfg.Name]; ok {
+		old.closed = true
+	}
+	floor, resumed := s.floors[cfg.Name]
+	if !resumed {
+		if cfg.StartSeq > 0 {
+			floor = cfg.StartSeq - 1
+		}
+		if floor > s.lastSeq {
+			floor = s.lastSeq
+		}
+	}
+	c := &Consumer{
+		s:           s,
+		name:        cfg.Name,
+		filter:      cfg.Filter,
+		maxInflight: cfg.MaxInflight,
+		ackWait:     cfg.AckWait,
+		backoffMax:  cfg.BackoffMax,
+		maxDeliver:  cfg.MaxDeliver,
+		floor:       floor,
+		acked:       map[uint64]struct{}{},
+		infl:        map[uint64]*inflightMsg{},
+		nextSeq:     floor + 1,
+	}
+	s.consumers[cfg.Name] = c
+	s.floors[cfg.Name] = floor
+	return c, nil
+}
+
+// Name returns the consumer's durable name.
+func (c *Consumer) Name() string { return c.name }
+
+// backoffFor returns the redelivery deadline for the nth delivery:
+// AckWait doubled per prior delivery, capped at BackoffMax.
+func (c *Consumer) backoffFor(deliveries int) time.Duration {
+	d := c.ackWait
+	for i := 1; i < deliveries; i++ {
+		d *= 2
+		if d >= c.backoffMax {
+			return c.backoffMax
+		}
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	return d
+}
+
+// Fetch returns up to max deliveries: first any inflight messages whose
+// redelivery deadline has passed (oldest sequence first), then new
+// messages while the inflight window has room. A message outside the
+// consumer's subject filter, evicted by retention before delivery, or
+// past MaxDeliver is settled in place — counted and skipped, cursor
+// advanced — rather than delivered. Fetch never blocks; an empty result
+// means nothing is currently deliverable.
+func (c *Consumer) Fetch(max int) ([]Delivery, error) {
+	if max <= 0 {
+		return nil, fmt.Errorf("streams: fetch of %d messages", max)
+	}
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed {
+		return nil, ErrConsumerClosed
+	}
+	now := s.cfg.Clock()
+	floorBefore := c.floor
+	var out []Delivery
+
+	// Redeliveries first: an unacked message is older than anything new.
+	// Map iteration order must not reach the caller — sort the due set.
+	var due []uint64
+	for seq, st := range c.infl {
+		if st.due <= now {
+			due = append(due, seq)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, seq := range due {
+		if len(out) >= max {
+			break
+		}
+		st := c.infl[seq]
+		e := s.entryAt(seq)
+		switch {
+		case e == nil:
+			// Evicted by retention while inflight: it can never be
+			// delivered again. Settle it so the cursor is not pinned.
+			delete(c.infl, seq)
+			c.missed++
+			c.settleLocked(seq)
+		case c.maxDeliver > 0 && st.deliveries >= c.maxDeliver:
+			delete(c.infl, seq)
+			c.deadLettered++
+			c.settleLocked(seq)
+		default:
+			st.deliveries++
+			st.due = now + c.backoffFor(st.deliveries)
+			c.redelivered++
+			out = append(out, Delivery{Seq: seq, Deliveries: st.deliveries, Msg: e.message()})
+		}
+	}
+
+	// New messages, subject to the flow-control window.
+	for len(out) < max && len(c.infl) < c.maxInflight && c.nextSeq <= s.lastSeq {
+		seq := c.nextSeq
+		c.nextSeq++
+		if seq <= c.floor {
+			continue
+		}
+		if _, done := c.acked[seq]; done {
+			continue
+		}
+		e := s.entryAt(seq)
+		switch {
+		case e == nil:
+			// Lagged past retention: the message is gone. Account it and
+			// move on — a stuck cursor would be worse than a counted gap.
+			c.missed++
+			c.settleLocked(seq)
+		case !MatchSubject(c.filter, e.subject):
+			c.filtered++
+			c.settleLocked(seq)
+		default:
+			c.infl[seq] = &inflightMsg{deliveries: 1, due: now + c.backoffFor(1)}
+			c.delivered++
+			out = append(out, Delivery{Seq: seq, Deliveries: 1, Msg: e.message()})
+		}
+	}
+	if c.floor != floorBefore {
+		c.checkpointLocked()
+	}
+	return out, nil
+}
+
+// Ack settles a delivered message. Acking at or below the floor is an
+// idempotent no-op (the redelivered copy of an already-settled message);
+// acking a sequence that was never delivered is ErrNotInflight.
+func (c *Consumer) Ack(seq uint64) error {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed {
+		return ErrConsumerClosed
+	}
+	if seq <= c.floor {
+		return nil
+	}
+	if _, ok := c.acked[seq]; ok {
+		return nil
+	}
+	if _, ok := c.infl[seq]; !ok {
+		return fmt.Errorf("%w: ack %d (floor %d)", ErrNotInflight, seq, c.floor)
+	}
+	delete(c.infl, seq)
+	c.ackedCount++
+	floorBefore := c.floor
+	c.settleLocked(seq)
+	if c.floor != floorBefore {
+		c.checkpointLocked()
+	}
+	return nil
+}
+
+// Nak negatively acknowledges an inflight delivery: the message becomes
+// immediately eligible for redelivery (its backoff restarts from the
+// next attempt's deadline), without waiting out the ack deadline.
+func (c *Consumer) Nak(seq uint64) error {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed {
+		return ErrConsumerClosed
+	}
+	st, ok := c.infl[seq]
+	if !ok {
+		return fmt.Errorf("%w: nak %d (floor %d)", ErrNotInflight, seq, c.floor)
+	}
+	st.due = now0(s)
+	c.naks++
+	return nil
+}
+
+// now0 reads the stream clock (helper so Nak stays readable).
+func now0(s *DurableStream) time.Duration { return s.cfg.Clock() }
+
+// settleLocked marks seq settled (acked, skipped or dead-lettered) and
+// advances the floor over the contiguous settled prefix (s.mu held).
+func (c *Consumer) settleLocked(seq uint64) {
+	c.acked[seq] = struct{}{}
+	for {
+		if _, ok := c.acked[c.floor+1]; !ok {
+			break
+		}
+		delete(c.acked, c.floor+1)
+		c.floor++
+	}
+}
+
+// checkpointLocked makes the floor durable (s.mu held). A failed
+// checkpoint is counted, not fatal: the consumer keeps running and the
+// worst a lost checkpoint costs is redelivery after a crash.
+func (c *Consumer) checkpointLocked() {
+	s := c.s
+	if err := sos.AppendFrame(s.store, encodeCursorEntry(c.name, c.floor)); err != nil {
+		s.walErrs++
+	}
+	s.floors[c.name] = c.floor
+}
+
+// AckFloor returns the durable cursor: every sequence at or below it is
+// settled.
+func (c *Consumer) AckFloor() uint64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.floor
+}
+
+// Pending returns how many retained sequences are still ahead of the
+// consumer (inflight included) — the catch-up distance.
+func (c *Consumer) Pending() uint64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.lastSeq - c.floor
+}
+
+// Stats returns a snapshot of the consumer's counters.
+func (c *Consumer) Stats() ConsumerStats {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.statsLocked()
+}
+
+func (c *Consumer) statsLocked() ConsumerStats {
+	return ConsumerStats{
+		Name:         c.name,
+		Filter:       c.filter,
+		AckFloor:     c.floor,
+		Lag:          c.s.lastSeq - c.floor,
+		Inflight:     len(c.infl),
+		Delivered:    c.delivered,
+		Redelivered:  c.redelivered,
+		Acked:        c.ackedCount,
+		Naks:         c.naks,
+		Filtered:     c.filtered,
+		Missed:       c.missed,
+		DeadLettered: c.deadLettered,
+		Closed:       c.closed,
+	}
+}
+
+// Close detaches the consumer instance. The durable cursor survives: a
+// later Consumer call with the same name resumes from the floor.
+func (c *Consumer) Close() {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.closed = true
+}

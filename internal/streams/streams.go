@@ -79,11 +79,18 @@ func (m Message) Payload() []byte {
 // Handler consumes delivered messages.
 type Handler func(Message)
 
-// Stats counts bus activity for one tag.
+// Stats counts bus activity for one tag. The three outcome counters are
+// disjoint: a publish that reaches at least one receiver (handler or
+// bound durable stream) counts toward Delivered per receiver, a handler
+// that panics (or a stream append that fails) counts toward Errored
+// instead, and Dropped counts only publishes no receiver accepted —
+// a failed delivery is an error, not a drop, and the two are never
+// conflated.
 type Stats struct {
 	Published uint64 // Publish calls
-	Delivered uint64 // handler invocations (Published x subscribers)
-	Dropped   uint64 // publishes that reached no subscriber
+	Delivered uint64 // successful receiver deliveries (handlers + stream appends)
+	Dropped   uint64 // publishes that reached no receiver at all
+	Errored   uint64 // handler panics and failed stream appends
 }
 
 // Stamper is a payload carrier that records hop crossings (it is
@@ -99,8 +106,14 @@ type Stamper interface {
 type Bus struct {
 	mu    sync.Mutex
 	subs  map[string][]*Subscription
+	wsubs []*Subscription // wildcard-filter subscriptions, subscribe order
 	stats map[string]*Stats
 	seq   int
+	// streams are the bound durable sinks: every published message whose
+	// subject matches a bound stream's filters is appended there before
+	// handlers run. streamNames keeps the deterministic append order.
+	streams     map[string]*DurableStream
+	streamNames []string
 	// hop/clock are set by Instrument; when set, Publish stamps typed
 	// records crossing this bus (the stamp itself is gated on the
 	// process-wide obs tracing switch, so this stays free when off).
@@ -127,9 +140,10 @@ func NewBus() *Bus {
 // Subscription is an active tag subscription; Close detaches it.
 type Subscription struct {
 	bus     *Bus
-	tag     string
+	tag     string // exact tag, or a wildcard subject filter
 	id      int
 	handler Handler
+	wild    bool // tag is a wildcard filter, kept in bus.wsubs
 	closed  bool
 }
 
@@ -145,6 +159,15 @@ func (s *Subscription) Close() {
 		return
 	}
 	s.closed = true
+	if s.wild {
+		for i, sub := range s.bus.wsubs {
+			if sub == s {
+				s.bus.wsubs = append(s.bus.wsubs[:i], s.bus.wsubs[i+1:]...)
+				break
+			}
+		}
+		return
+	}
 	list := s.bus.subs[s.tag]
 	for i, sub := range list {
 		if sub == s {
@@ -158,7 +181,11 @@ func (s *Subscription) Close() {
 }
 
 // Subscribe attaches h to tag. Messages published before subscription are
-// not replayed (the bus does not cache).
+// not replayed (the bus does not cache). A tag containing a subject
+// wildcard ("darshan.*.posix", "darshan.>") subscribes to every matching
+// subject; a plain tag rendezvouses exactly as before. Delivery order is
+// deterministic: exact subscribers first, then wildcard subscribers in
+// subscription order.
 func (b *Bus) Subscribe(tag string, h Handler) *Subscription {
 	if h == nil {
 		panic("streams: nil handler")
@@ -167,12 +194,22 @@ func (b *Bus) Subscribe(tag string, h Handler) *Subscription {
 	defer b.mu.Unlock()
 	b.seq++
 	sub := &Subscription{bus: b, tag: tag, id: b.seq, handler: h}
-	b.subs[tag] = append(b.subs[tag], sub)
+	if HasWildcard(tag) {
+		sub.wild = true
+		b.wsubs = append(b.wsubs, sub)
+	} else {
+		b.subs[tag] = append(b.subs[tag], sub)
+	}
 	return sub
 }
 
-// Publish delivers msg to all current subscribers of its tag and returns
-// how many received it (0 means the message was dropped).
+// Publish delivers msg to all current subscribers of its tag — exact
+// subscribers, wildcard subscribers whose filter matches, and bound
+// durable streams whose subjects match — and returns how many received it
+// (0 means the message was dropped). Outcomes are accounted disjointly: a
+// handler that panics, or a stream append that fails, counts toward the
+// tag's Errored (never its Dropped) and does not count as a receiver; a
+// publish is Dropped only when no receiver accepted it at all.
 func (b *Bus) Publish(msg Message) int {
 	b.mu.Lock()
 	st, ok := b.stats[msg.Tag]
@@ -183,28 +220,61 @@ func (b *Bus) Publish(msg Message) int {
 	st.Published++
 	hop, clock := b.hop, b.clock
 	list := append([]*Subscription(nil), b.subs[msg.Tag]...)
-	if len(list) == 0 {
-		st.Dropped++
-		b.mu.Unlock()
-		if hop != "" {
-			if s, ok := msg.Record.(Stamper); ok {
-				s.Stamp(hop, clock())
-			}
+	for _, sub := range b.wsubs {
+		if MatchSubject(sub.tag, msg.Tag) {
+			list = append(list, sub)
 		}
-		return 0
 	}
-	st.Delivered += uint64(len(list))
+	var sinks []*DurableStream
+	for _, name := range b.streamNames {
+		if s := b.streams[name]; s.Matches(msg.Tag) {
+			sinks = append(sinks, s)
+		}
+	}
 	b.mu.Unlock()
 	if hop != "" {
 		if s, ok := msg.Record.(Stamper); ok {
 			s.Stamp(hop, clock())
 		}
 	}
-	// Handlers run outside the lock so they may publish or subscribe.
-	for _, sub := range list {
-		sub.handler(msg)
+	// Streams first — persistence before best-effort fan-out — then
+	// handlers, all outside the lock so handlers may publish or subscribe.
+	received, errored := 0, 0
+	for _, s := range sinks {
+		if _, err := s.Append(msg); err != nil {
+			errored++
+		} else {
+			received++
+		}
 	}
-	return len(list)
+	for _, sub := range list {
+		if deliverSafe(sub.handler, msg) {
+			received++
+		} else {
+			errored++
+		}
+	}
+	b.mu.Lock()
+	st.Delivered += uint64(received)
+	st.Errored += uint64(errored)
+	if received == 0 {
+		st.Dropped++
+	}
+	b.mu.Unlock()
+	return received
+}
+
+// deliverSafe invokes one handler, absorbing a panic so a broken
+// subscriber cannot take down the publisher (or skew the accounting of
+// the other receivers). It reports whether the delivery completed.
+func deliverSafe(h Handler, msg Message) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	h(msg)
+	return true
 }
 
 // PublishJSON publishes a JSON payload on tag.
@@ -235,6 +305,80 @@ func (b *Bus) NoteDrops(tag string, n uint64) {
 	st.Dropped += n
 }
 
+// BindStream attaches a durable stream as a persistent sink: every
+// subsequent publish whose subject matches one of the stream's filters is
+// appended to it (before best-effort handler fan-out) and the stream
+// counts as a receiver. Binding a name that is already bound is an error;
+// messages published before the bind are not replayed into the stream.
+func (b *Bus) BindStream(s *DurableStream) error {
+	if s == nil {
+		return fmt.Errorf("streams: bind of a nil stream")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	name := s.Name()
+	if b.streams == nil {
+		b.streams = map[string]*DurableStream{}
+	}
+	if _, ok := b.streams[name]; ok {
+		return fmt.Errorf("streams: stream %q already bound", name)
+	}
+	b.streams[name] = s
+	b.streamNames = append(b.streamNames, name)
+	sort.Strings(b.streamNames)
+	return nil
+}
+
+// UnbindStream detaches the named stream sink (the stream itself, and
+// everything it retains, is untouched). It reports whether the name was
+// bound.
+func (b *Bus) UnbindStream(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.streams[name]; !ok {
+		return false
+	}
+	delete(b.streams, name)
+	for i, n := range b.streamNames {
+		if n == name {
+			b.streamNames = append(b.streamNames[:i], b.streamNames[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Stream returns the bound stream with the given name, or nil.
+func (b *Bus) Stream(name string) *DurableStream {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.streams[name]
+}
+
+// StreamNames returns, sorted, the names of every bound stream.
+func (b *Bus) StreamNames() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, len(b.streamNames))
+	copy(out, b.streamNames)
+	return out
+}
+
+// AppendStream appends msg directly to the named bound stream, bypassing
+// handler fan-out, and returns the assigned sequence. Unlike Publish this
+// surfaces the persistence outcome to the caller: an error means the
+// message is NOT durable and the caller still owns its fate, so the
+// return must not be discarded (dlc-lint's puberr check enforces this).
+func (b *Bus) AppendStream(name string, msg Message) (uint64, error) {
+	b.mu.Lock()
+	s := b.streams[name]
+	b.mu.Unlock()
+	if s == nil {
+		return 0, fmt.Errorf("streams: no stream %q bound", name)
+	}
+	return s.Append(msg)
+}
+
 // Stats returns a snapshot of the counters for tag.
 func (b *Bus) Stats(tag string) Stats {
 	b.mu.Lock()
@@ -245,13 +389,17 @@ func (b *Bus) Stats(tag string) Stats {
 	return Stats{}
 }
 
-// Tags returns the tags with active subscribers.
+// Tags returns, sorted, the tags with active subscribers — exact tags
+// plus any subscribed wildcard filters.
 func (b *Bus) Tags() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.subs))
+	out := make([]string, 0, len(b.subs)+len(b.wsubs))
 	for tag := range b.subs {
 		out = append(out, tag)
+	}
+	for _, sub := range b.wsubs {
+		out = append(out, sub.tag)
 	}
 	sort.Strings(out)
 	return out
@@ -271,11 +419,19 @@ func (b *Bus) StatTags() []string {
 	return out
 }
 
-// SubscriberCount returns the number of active subscriptions for tag.
+// SubscriberCount returns the number of active subscriptions a message
+// published on tag would reach: its exact subscribers plus any wildcard
+// subscribers whose filter matches it.
 func (b *Bus) SubscriberCount(tag string) int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.subs[tag])
+	n := len(b.subs[tag])
+	for _, sub := range b.wsubs {
+		if MatchSubject(sub.tag, tag) {
+			n++
+		}
+	}
+	return n
 }
 
 // String summarizes the bus.

@@ -185,6 +185,44 @@ func TestSubscriberReattachMidStream(t *testing.T) {
 	}
 }
 
+// TestPanickingHandlerIsErroredNotDropped pins the delivery-outcome
+// accounting: a handler that panics is isolated (the other subscribers
+// still receive), counts toward Errored, and is never folded into
+// Dropped — dropped means "reached nobody", errored means "a receiver
+// failed", and conflating them hid real handler bugs behind the normal
+// best-effort drop noise.
+func TestPanickingHandlerIsErroredNotDropped(t *testing.T) {
+	b := NewBus()
+	got := 0
+	b.Subscribe("t", func(Message) { panic("broken subscriber") })
+	b.Subscribe("t", func(Message) { got++ })
+	if n := b.PublishString("t", "m"); n != 1 {
+		t.Fatalf("publish returned %d receivers, want 1 (the healthy one)", n)
+	}
+	if got != 1 {
+		t.Fatalf("healthy subscriber got %d", got)
+	}
+	st := b.Stats("t")
+	if st.Published != 1 || st.Delivered != 1 || st.Errored != 1 || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want published 1 delivered 1 errored 1 dropped 0", st)
+	}
+}
+
+func TestSolePanickingHandlerCountsBothWays(t *testing.T) {
+	// When the only receiver fails, the message both errored (a receiver
+	// failed) and dropped (nobody got it) — the two counters answer
+	// different questions and both must say so.
+	b := NewBus()
+	b.Subscribe("t", func(Message) { panic("x") })
+	if n := b.PublishString("t", "m"); n != 0 {
+		t.Fatalf("publish returned %d", n)
+	}
+	st := b.Stats("t")
+	if st.Delivered != 0 || st.Errored != 1 || st.Dropped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
 func TestNoteDropsFoldsIntoStats(t *testing.T) {
 	b := NewBus()
 	// Downstream components (e.g. a forwarder spool overflow) account

@@ -11,6 +11,7 @@ import (
 	"darshanldms/internal/dsos"
 	"darshanldms/internal/ldms"
 	"darshanldms/internal/obs"
+	"darshanldms/internal/streams"
 )
 
 // Server is the dashboard: Grafana-like panels over the DSOS store plus a
@@ -18,10 +19,11 @@ import (
 // LDMS metric sets for side-by-side system-behaviour correlation and, via
 // AttachObs, the pipeline's own telemetry (a health panel + /metrics).
 type Server struct {
-	client *dsos.Client
-	ldms   []*ldms.Daemon
-	obs    *obs.Registry
-	mux    *http.ServeMux
+	client  *dsos.Client
+	ldms    []*ldms.Daemon
+	obs     *obs.Registry
+	streams []*streams.DurableStream
+	mux     *http.ServeMux
 }
 
 // NewServer builds a dashboard over the store; ldmsDaemons may be nil.
@@ -35,6 +37,7 @@ func NewServer(client *dsos.Client, ldmsDaemons []*ldms.Daemon) *Server {
 	s.mux.HandleFunc("/api/job/", s.handleJobAPI)
 	s.mux.HandleFunc("/chart/job/", s.handleJobChart)
 	s.mux.HandleFunc("/api/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/api/streams", s.handleStreams)
 	s.mux.HandleFunc("/metrics", s.handlePromMetrics)
 	s.mux.HandleFunc("/api/grafana-dashboard", s.handleGrafanaExport)
 	return s
@@ -44,6 +47,31 @@ func NewServer(client *dsos.Client, ldmsDaemons []*ldms.Daemon) *Server {
 // the index page gains a pipeline-health panel and /metrics serves the
 // registry in Prometheus text format. A nil registry detaches.
 func (s *Server) AttachObs(reg *obs.Registry) { s.obs = reg }
+
+// AttachStreams wires durable streams into the dashboard: the index page
+// gains a consumer-lag panel (per stream: retained window and drop
+// accounting; per consumer: acked floor, lag behind the head, inflight
+// window, redeliveries) and /api/streams serves the same as JSON.
+func (s *Server) AttachStreams(ss ...*streams.DurableStream) { s.streams = ss }
+
+// streamView is the /api/streams JSON shape: one stream's accounting
+// snapshot with its consumers'.
+type streamView struct {
+	Stream    streams.StreamStats     `json:"stream"`
+	Consumers []streams.ConsumerStats `json:"consumers"`
+}
+
+func (s *Server) streamViews() []streamView {
+	out := make([]streamView, 0, len(s.streams))
+	for _, st := range s.streams {
+		out = append(out, streamView{Stream: st.Stats(), Consumers: st.ConsumerStats()})
+	}
+	return out
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.streamViews())
+}
 
 func (s *Server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.obs == nil {
@@ -91,6 +119,36 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(&b, "%s %g\n", sm.Name, sm.Value)
 		}
 		b.WriteString("</pre></div>")
+	}
+	if len(s.streams) > 0 {
+		// Consumer-lag panel: how far each durable consumer trails its
+		// stream's head. A growing lag is the early warning that a store
+		// or uplink is falling behind (and, once it exceeds the retained
+		// window, will start missing messages to retention).
+		b.WriteString(`<h2>durable streams</h2><div style="border:1px solid #ccc;padding:0.5em 1em;margin:1em 0">`)
+		b.WriteString(`<p><a href="/api/streams">raw /api/streams (JSON)</a></p>`)
+		for _, v := range s.streamViews() {
+			st := v.Stream
+			fmt.Fprintf(&b, "<h3>%s</h3><p>seqs [%d,%d] · %d retained (%d bytes) · %d appended · %d dropped by retention · %d wal errors</p>",
+				st.Name, st.FirstSeq, st.LastSeq, st.Msgs, st.Bytes, st.Appended, st.Dropped, st.WALErrors)
+			if len(v.Consumers) == 0 {
+				b.WriteString("<p>no consumers</p>")
+				continue
+			}
+			b.WriteString(`<table border="1" cellpadding="4" style="border-collapse:collapse">` +
+				`<tr><th>consumer</th><th>ack floor</th><th>lag</th><th>inflight</th>` +
+				`<th>delivered</th><th>redelivered</th><th>missed</th><th>dead-lettered</th></tr>`)
+			for _, c := range v.Consumers {
+				lagStyle := ""
+				if c.Lag > 0 && st.Msgs >= 0 && c.Lag >= uint64(st.Msgs) && st.Dropped > 0 {
+					lagStyle = ` style="background:#fdd"` // lagging past retention
+				}
+				fmt.Fprintf(&b, `<tr%s><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>`,
+					lagStyle, c.Name, c.AckFloor, c.Lag, c.Inflight, c.Delivered, c.Redelivered, c.Missed, c.DeadLettered)
+			}
+			b.WriteString("</table>")
+		}
+		b.WriteString("</div>")
 	}
 	for _, j := range jobs {
 		fmt.Fprintf(&b, `<h2>job_id %d</h2>`, j)

@@ -8,13 +8,21 @@
 //	dlc-lint [flags] [./... | dir ...]
 //
 //	dlc-lint ./...                      # whole module, text output
-//	dlc-lint -json ./...                # machine-readable findings
+//	dlc-lint -json ./...                # machine-readable report envelope
 //	dlc-lint -checks walltime,puberr .  # subset of checks
 //	dlc-lint -list                      # describe the suite
 //	dlc-lint -tests ./...               # also analyze _test.go files
+//	dlc-lint -baseline ci/lint.baseline ./...        # suppress known debt
+//	dlc-lint -write-baseline ci/lint.baseline ./...  # record current debt
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
-// load errors. CI gates on this via `make lint` / `make check`.
+// With -baseline, recorded findings are suppressed, new findings still
+// fail, and stale entries (debt that was actually paid) fail the run
+// until the file is regenerated with -write-baseline — the ledger only
+// shrinks deliberately.
+//
+// Exit status: 0 when clean, 1 when findings were reported (or the
+// baseline is stale), 2 on usage or load errors. CI gates on this via
+// `make lint` / `make check`.
 package main
 
 import (
@@ -24,16 +32,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"darshanldms/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a JSON report envelope (findings, suppression counts, per-check timing)")
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := flag.Bool("list", false, "list the available checks and exit")
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	verbose := flag.Bool("v", false, "report soft type-check errors to stderr")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file; stale entries fail the run")
+	writeBaseline := flag.String("write-baseline", "", "record current findings into this baseline file and exit")
 	flag.Parse()
 
 	if *list {
@@ -71,22 +82,72 @@ func main() {
 	}
 
 	var findings []lint.Finding
+	timing := map[string]time.Duration{}
 	for _, pkg := range pkgs {
 		if *verbose {
 			for _, terr := range pkg.TypeErrors {
 				fmt.Fprintf(os.Stderr, "dlc-lint: %s: type-check: %v\n", pkg.RelPath, terr)
 			}
 		}
-		findings = append(findings, lint.Run(pkg, checks)...)
+		fs, ts := lint.RunTimed(pkg, checks)
+		findings = append(findings, fs...)
+		for _, ct := range ts {
+			timing[ct.Check] += ct.Elapse
+		}
+	}
+	var timings []lint.CheckTiming
+	for _, c := range checks {
+		timings = append(timings, lint.CheckTiming{Check: c.Name, Elapse: timing[c.Name]})
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlc-lint:", err)
+		os.Exit(2)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		root = cwd
+	}
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(root, findings)
+		if err := b.Write(*writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "dlc-lint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "dlc-lint: recorded %d finding(s) across %d entrie(s) into %s\n",
+			len(findings), len(b.Entries), *writeBaseline)
+		return
+	}
+
+	suppressed := 0
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlc-lint:", err)
+			os.Exit(2)
+		}
+		findings, stale, suppressed = b.Apply(root, findings)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if stale == nil {
+			stale = []lint.BaselineEntry{}
+		}
+		report := struct {
+			Findings      []lint.Finding       `json:"findings"`
+			Suppressed    int                  `json:"suppressed"`
+			StaleBaseline []lint.BaselineEntry `json:"stale_baseline"`
+			Checks        []lint.CheckTiming   `json:"checks"`
+		}{findings, suppressed, stale, timings}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "dlc-lint:", err)
 			os.Exit(2)
 		}
@@ -97,8 +158,15 @@ func main() {
 		if len(findings) > 0 {
 			fmt.Fprintf(os.Stderr, "dlc-lint: %d finding(s)\n", len(findings))
 		}
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "dlc-lint: %d finding(s) suppressed by baseline\n", suppressed)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "dlc-lint: stale baseline entry %s %s (count %d): debt was paid, regenerate with -write-baseline\n",
+				e.File, e.Check, e.Count)
+		}
 	}
-	if len(findings) > 0 {
+	if len(findings) > 0 || len(stale) > 0 {
 		os.Exit(1)
 	}
 }

@@ -543,6 +543,14 @@ func (f *ReconnectingForwarder) ensureConnLocked() error {
 	if f.conn != nil {
 		return nil
 	}
+	// Refuse to dial once Close has fired: a late redial would spawn a
+	// monitor goroutine after wg.Wait already returned, leaking it (and
+	// the connection) past Close.
+	select {
+	case <-f.done:
+		return net.ErrClosed
+	default:
+	}
 	conn, err := net.DialTimeout("tcp", f.cfg.Addr, f.cfg.DialTimeout)
 	if err != nil {
 		return err
@@ -552,13 +560,16 @@ func (f *ReconnectingForwarder) ensureConnLocked() error {
 	f.dials++
 	// The server never writes application data back; a read can only
 	// return when the peer closes or resets, which is exactly the signal
-	// the monitor turns into prompt disconnect detection.
+	// the monitor turns into prompt disconnect detection. Close joins it
+	// through wg after teardownLocked unblocks the Read.
+	f.wg.Add(1)
 	go f.monitor(conn)
 	return nil
 }
 
 // monitor marks the connection dead as soon as the peer closes it.
 func (f *ReconnectingForwarder) monitor(conn net.Conn) {
+	defer f.wg.Done()
 	var b [1]byte
 	conn.Read(b[:]) // blocks until close/reset (server sends nothing)
 	f.connMu.Lock()

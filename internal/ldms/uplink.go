@@ -227,6 +227,14 @@ func (u *StreamUplink) sendFrame(m streams.Message) error {
 	u.connMu.Lock()
 	defer u.connMu.Unlock()
 	if u.conn == nil {
+		// Refuse to dial once Close has fired: a late redial would spawn
+		// a monitor goroutine after wg.Wait already returned, leaking it
+		// (and the connection) past Close.
+		select {
+		case <-u.done:
+			return net.ErrClosed
+		default:
+		}
 		conn, err := net.DialTimeout("tcp", u.cfg.Addr, u.cfg.DialTimeout)
 		if err != nil {
 			return err
@@ -234,6 +242,7 @@ func (u *StreamUplink) sendFrame(m streams.Message) error {
 		u.conn = conn
 		u.bw = bufio.NewWriter(&countingWriter{w: conn, n: &u.wireBytes})
 		u.dials++
+		u.wg.Add(1)
 		go u.monitor(conn)
 	}
 	if err := WriteFrame(u.bw, m); err != nil {
@@ -248,8 +257,10 @@ func (u *StreamUplink) sendFrame(m streams.Message) error {
 	return nil
 }
 
-// monitor marks the connection dead as soon as the peer closes it.
+// monitor marks the connection dead as soon as the peer closes it. Close
+// joins it through wg after teardownLocked unblocks the Read.
 func (u *StreamUplink) monitor(conn net.Conn) {
+	defer u.wg.Done()
 	var b [1]byte
 	conn.Read(b[:]) // blocks until close/reset (server sends nothing)
 	u.connMu.Lock()
@@ -329,10 +340,13 @@ func (u *StreamUplink) Close() error {
 	u.closed = true
 	close(u.done)
 	u.mu.Unlock()
-	u.wg.Wait()
+	// Tear the connection down BEFORE joining the WaitGroup: the monitor
+	// goroutine sits in conn.Read and only returns once the socket
+	// closes, so the old wait-then-teardown order would deadlock here.
 	u.connMu.Lock()
 	u.teardownLocked()
 	u.connMu.Unlock()
+	u.wg.Wait()
 	u.cons.Close()
 	return nil
 }

@@ -1,0 +1,122 @@
+package lint
+
+// baseline.go — the persisted known-findings file behind `dlc-lint
+// -baseline`. A baseline lets a new check land with pre-existing debt
+// recorded instead of either blocking the merge or being watered down:
+// the recorded findings are suppressed, anything NEW still fails, and an
+// entry whose findings were actually fixed goes "stale" and fails the
+// run until the baseline is regenerated (so the debt ledger can only
+// shrink deliberately, never silently).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry records one class of known findings: a (file, check)
+// pair and how many findings of that class are grandfathered.
+type BaselineEntry struct {
+	File  string `json:"file"` // module-relative, slash-separated
+	Check string `json:"check"`
+	Count int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string { return e.File + "\x00" + e.Check }
+
+// Baseline is the on-disk known-findings document.
+type Baseline struct {
+	Comment string          `json:"comment,omitempty"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline aggregates findings into a baseline document, with paths
+// relativized against root.
+func NewBaseline(root string, findings []Finding) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, f := range findings {
+		e := BaselineEntry{File: relPath(root, f.File), Check: f.Check}
+		counts[e]++
+	}
+	b := &Baseline{
+		Comment: "known dlc-lint findings; regenerate with dlc-lint -write-baseline after paying debt",
+		Entries: []BaselineEntry{},
+	}
+	for e, n := range counts {
+		e.Count = n
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		return a.Check < c.Check
+	})
+	return b
+}
+
+// Write persists the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits findings against the baseline: fresh findings (not
+// covered by any entry — these should fail the run) and stale entries
+// (recorded debt that no longer exists — the baseline must be
+// regenerated so the ledger stays honest). Suppressed reports how many
+// findings the baseline absorbed.
+func (b *Baseline) Apply(root string, findings []Finding) (fresh []Finding, stale []BaselineEntry, suppressed int) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[e.key()] += e.Count
+	}
+	seen := map[string]int{}
+	for _, f := range findings {
+		k := BaselineEntry{File: relPath(root, f.File), Check: f.Check}.key()
+		seen[k]++
+		if seen[k] <= budget[k] {
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Entries {
+		if seen[e.key()] < e.Count {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale, suppressed
+}
+
+// relPath relativizes file against root into the baseline's canonical
+// slash-separated form; files outside root keep their absolute path.
+func relPath(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	findings := []Finding{
+		{File: filepath.Join(root, "a", "x.go"), Line: 3, Check: "poolleak"},
+		{File: filepath.Join(root, "a", "x.go"), Line: 9, Check: "poolleak"},
+		{File: filepath.Join(root, "b", "y.go"), Line: 1, Check: "ackleak"},
+	}
+	b := NewBaseline(root, findings)
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (aggregated by file+check): %+v", len(b.Entries), b.Entries)
+	}
+	path := filepath.Join(root, "lint.baseline")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Entries[0] != b.Entries[0] || back.Entries[1] != b.Entries[1] {
+		t.Fatalf("round trip mismatch: %+v != %+v", back.Entries, b.Entries)
+	}
+
+	// The exact recorded findings are absorbed.
+	fresh, stale, suppressed := back.Apply(root, findings)
+	if len(fresh) != 0 || len(stale) != 0 || suppressed != 3 {
+		t.Fatalf("apply(same) = fresh %d, stale %d, suppressed %d; want 0/0/3", len(fresh), len(stale), suppressed)
+	}
+}
+
+func TestBaselineFreshFindingEscapes(t *testing.T) {
+	root := t.TempDir()
+	old := []Finding{{File: filepath.Join(root, "x.go"), Line: 3, Check: "poolleak"}}
+	b := NewBaseline(root, old)
+
+	// A second finding of the same class exceeds the budget.
+	grown := append(old, Finding{File: filepath.Join(root, "x.go"), Line: 30, Check: "poolleak"})
+	fresh, stale, suppressed := b.Apply(root, grown)
+	if len(fresh) != 1 || fresh[0].Line != 30 {
+		t.Fatalf("fresh = %+v, want the line-30 finding", fresh)
+	}
+	if len(stale) != 0 || suppressed != 1 {
+		t.Fatalf("stale %d suppressed %d, want 0/1", len(stale), suppressed)
+	}
+
+	// A different class is fresh regardless.
+	other := append(old, Finding{File: filepath.Join(root, "x.go"), Line: 4, Check: "ackleak"})
+	fresh, _, _ = b.Apply(root, other)
+	if len(fresh) != 1 || fresh[0].Check != "ackleak" {
+		t.Fatalf("fresh = %+v, want the ackleak finding", fresh)
+	}
+}
+
+func TestBaselineStaleEntry(t *testing.T) {
+	root := t.TempDir()
+	b := NewBaseline(root, []Finding{
+		{File: filepath.Join(root, "x.go"), Line: 3, Check: "poolleak"},
+		{File: filepath.Join(root, "y.go"), Line: 5, Check: "ackleak"},
+	})
+	// The poolleak debt was paid: its entry must go stale.
+	fresh, stale, suppressed := b.Apply(root, []Finding{
+		{File: filepath.Join(root, "y.go"), Line: 5, Check: "ackleak"},
+	})
+	if len(fresh) != 0 || suppressed != 1 {
+		t.Fatalf("fresh %d suppressed %d, want 0/1", len(fresh), suppressed)
+	}
+	if len(stale) != 1 || stale[0].Check != "poolleak" {
+		t.Fatalf("stale = %+v, want the poolleak entry", stale)
+	}
+}
+
+func TestBaselineRelPathOutsideRoot(t *testing.T) {
+	root := t.TempDir()
+	got := relPath(root, "/somewhere/else/z.go")
+	if got != "/somewhere/else/z.go" {
+		t.Fatalf("relPath escaped root: %q", got)
+	}
+}

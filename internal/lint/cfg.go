@@ -1,0 +1,398 @@
+package lint
+
+// cfg.go — a per-function control-flow graph over go/ast, the foundation
+// the resource-lifecycle checks (poolleak, ackleak, the CFG-backed
+// lockheld) run on. The seven original checks are single-statement
+// pattern matchers; the bugs that matter in the durable-streams era —
+// a pooled batch whose Put is skipped on one error path, a fetched
+// delivery that never reaches Ack — are properties of *paths*, not
+// statements. The graph is deliberately small: basic blocks of "simple"
+// nodes (expression/assign/defer/return statements plus the condition
+// expressions of the branches that were decomposed), edges for
+// if/for/range/switch/select/goto/labeled break/continue, and a single
+// exit block that return, panic and terminating calls (os.Exit,
+// log.Fatal) all route to.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: an ordered run of simple nodes with no
+// internal control flow, plus its successor edges.
+type cfgBlock struct {
+	nodes []ast.Node  // statements and decomposed condition expressions
+	succs []*cfgBlock // successor blocks (the exit block included)
+
+	// term is the statement that routed this block to the exit
+	// (a return, panic or terminating call), when there is one. Leak
+	// reports anchor here so "early return leaves X locked" points at
+	// the return, not the acquire.
+	term ast.Node
+
+	// cond/onTrue/onFalse record a two-way branch on cond: onTrue is the
+	// successor taken when cond holds. Dataflow walkers use this for
+	// narrow branch-sensitivity (the `if err != nil` vacuity guard in
+	// obligation.go); plain traversal just uses succs.
+	cond    ast.Expr
+	onTrue  *cfgBlock
+	onFalse *cfgBlock
+}
+
+// rangeHeader stands in for a range statement's header (Key/Value/X) in
+// the CFG. It implements ast.Node for position bookkeeping but must never
+// be handed to ast.Inspect — callers scan rng.X (and read Key/Value)
+// instead. Its End is the range expression's end, so `within` never
+// claims body statements belong to the header.
+type rangeHeader struct {
+	rng *ast.RangeStmt
+}
+
+func (r *rangeHeader) Pos() token.Pos { return r.rng.Pos() }
+func (r *rangeHeader) End() token.Pos { return r.rng.X.End() }
+
+// funcCFG is the graph for one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// terminatingCallNames are selector names treated as "this path never
+// returns": the block routes straight to exit. Conservative — a custom
+// fatal helper is not recognized — but panic() is, which covers the
+// panic-only paths the obligation analysis must reason about.
+var terminatingCallNames = map[string]bool{
+	"Exit": true, "Fatal": true, "Fatalf": true, "Fatalln": true, "Goexit": true,
+}
+
+type cfgBuilder struct {
+	g   *funcCFG
+	cur *cfgBlock
+
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []cfgFrame
+	// labels maps label name -> its block (created lazily so forward
+	// gotos resolve).
+	labels map[string]*cfgBlock
+	// pendingLabel is the label of the labeled statement being built, so
+	// the next loop/switch construct claims it for labeled break/continue.
+	pendingLabel string
+}
+
+// cfgFrame is one enclosing construct a break/continue can target.
+type cfgFrame struct {
+	label string
+	brk   *cfgBlock
+	cont  *cfgBlock // nil for switch/select (not continuable)
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		g:      &funcCFG{},
+		labels: map[string]*cfgBlock{},
+	}
+	b.g.exit = &cfgBlock{}
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is a normal exit.
+	b.edge(b.cur, b.g.exit)
+	b.g.blocks = append(b.g.blocks, b.g.exit)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// deadEnd terminates the current block (after a return/break/goto) and
+// starts a fresh unreachable block so later statements still get built.
+func (b *cfgBuilder) deadEnd() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		condBlk := b.cur
+		condBlk.nodes = append(condBlk.nodes, st.Cond)
+		condBlk.cond = st.Cond
+		then := b.newBlock()
+		join := b.newBlock()
+		b.edge(condBlk, then)
+		condBlk.onTrue = then
+		b.cur = then
+		b.stmtList(st.Body.List)
+		b.edge(b.cur, join)
+		if st.Else != nil {
+			els := b.newBlock()
+			b.edge(condBlk, els)
+			condBlk.onFalse = els
+			b.cur = els
+			b.stmt(st.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+			condBlk.onFalse = join
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		cont := head
+		if st.Post != nil {
+			cont = b.newBlock()
+		}
+		b.edge(b.cur, head)
+		if st.Cond != nil {
+			head.nodes = append(head.nodes, st.Cond)
+			head.cond = st.Cond
+			head.onTrue = body
+			head.onFalse = join
+			b.edge(head, join)
+		}
+		b.edge(head, body)
+		b.frames = append(b.frames, cfgFrame{label: label, brk: join, cont: cont})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		if st.Post != nil {
+			b.edge(b.cur, cont)
+			b.cur = cont
+			b.stmt(st.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.edge(b.cur, head)
+		// The head node is a rangeHeader wrapper, not the RangeStmt
+		// itself: the statement's Body lives in its own blocks, and a
+		// walker that ast.Inspect-ed the raw statement would see the
+		// body's nodes twice (once here, once in their blocks).
+		head.nodes = append(head.nodes, &rangeHeader{rng: st})
+		b.edge(head, body)
+		b.edge(head, join) // zero iterations
+		b.frames = append(b.frames, cfgFrame{label: label, brk: join, cont: head})
+		b.cur = body
+		b.stmtList(st.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			b.cur.nodes = append(b.cur.nodes, st.Tag)
+		}
+		b.switchClauses(st.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		b.switchClauses(st.Body.List, label, st.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		selBlk := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, cfgFrame{label: label, brk: join})
+		for _, cc := range st.Body.List {
+			clause := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(selBlk, blk)
+			if clause.Comm != nil {
+				blk.nodes = append(blk.nodes, clause.Comm)
+			}
+			b.cur = blk
+			b.stmtList(clause.Body)
+			b.edge(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// select{} blocks forever: join is unreachable, which is exactly
+		// right (no clause, no path onward).
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(st.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if t := b.findFrame(st.Label, false); t != nil {
+				b.edge(b.cur, t.brk)
+			}
+			b.deadEnd()
+		case token.CONTINUE:
+			if t := b.findFrame(st.Label, true); t != nil {
+				b.edge(b.cur, t.cont)
+			}
+			b.deadEnd()
+		case token.GOTO:
+			b.edge(b.cur, b.labelBlock(st.Label.Name))
+			b.deadEnd()
+		case token.FALLTHROUGH:
+			// Handled by switchClauses (it links the clause to its
+			// successor); nothing to record here.
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, st)
+		b.cur.term = st
+		b.edge(b.cur, b.g.exit)
+		b.deadEnd()
+
+	case *ast.ExprStmt:
+		b.cur.nodes = append(b.cur.nodes, st)
+		if isTerminatingCall(st.X) {
+			b.cur.term = st
+			b.edge(b.cur, b.g.exit)
+			b.deadEnd()
+		}
+
+	default:
+		// Assignments, declarations, defers, go statements, sends,
+		// inc/dec, empty statements: simple nodes.
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+// switchClauses builds the clause blocks of a switch/type-switch. assign
+// is the type-switch's `x := y.(type)` statement, recorded in each clause
+// head so walkers see the binding.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, assign ast.Stmt) {
+	switchBlk := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, cfgFrame{label: label, brk: join})
+	hasDefault := false
+	blocks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	for i, cs := range clauses {
+		clause := cs.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		blk := blocks[i]
+		b.edge(switchBlk, blk)
+		if assign != nil {
+			blk.nodes = append(blk.nodes, assign)
+		}
+		for _, e := range clause.List {
+			blk.nodes = append(blk.nodes, e)
+		}
+		b.cur = blk
+		body := clause.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		b.edge(switchBlk, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// findFrame resolves a break/continue target: the innermost matching
+// frame, or the labeled one. continue skips switch/select frames.
+func (b *cfgBuilder) findFrame(label *ast.Ident, needCont bool) *cfgFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+// isTerminatingCall reports whether e is a call that never returns:
+// panic(...), os.Exit, log.Fatal*, runtime.Goexit, t.Fatal*.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		return terminatingCallNames[fn.Sel.Name]
+	}
+	return false
+}

@@ -1,0 +1,639 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseSnippet type-checks one import-free source string into a Package
+// so engine tests can drive checks over hand-built control flow without
+// fixture files.
+func parseSnippet(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "case.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var soft []error
+	conf := types.Config{Error: func(err error) { soft = append(soft, err) }}
+	tpkg, _ := conf.Check("snippet", fset, []*ast.File{f}, info)
+	for _, err := range soft {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &Package{
+		Dir:     ".",
+		RelPath: "internal/streams", // in goroleak's scope
+		Fset:    fset,
+		Files:   []*ast.File{f},
+		Types:   tpkg,
+		Info:    info,
+		Zone:    ZoneReal,
+	}
+}
+
+// poolPrelude declares a local instrumented pool for obligation cases.
+const poolPrelude = `package snippet
+
+type Buf struct{ n int }
+
+type BufPool struct{ free []*Buf }
+
+func (p *BufPool) Get() *Buf {
+	if len(p.free) == 0 {
+		return &Buf{}
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+func (p *BufPool) Put(b *Buf) { p.free = append(p.free, b) }
+
+type sink struct{ held *Buf }
+
+func take(p *BufPool, b *Buf) { p.Put(b) }
+`
+
+// consPrelude declares a local pull consumer for ackleak cases.
+const consPrelude = `package snippet
+
+type Msg struct{ ID string }
+
+type Delivery struct {
+	Seq uint64
+	Msg Msg
+}
+
+type Consumer struct{}
+
+func (c *Consumer) Fetch(n int) ([]Delivery, error) { return nil, nil }
+func (c *Consumer) Ack(seq uint64) error            { return nil }
+func (c *Consumer) Nak(seq uint64) error            { return nil }
+`
+
+// TestObligationPaths drives the CFG + obligation walker through the
+// control-flow shapes the old single-statement checks could not see:
+// defer-in-loop, goto and labeled break, panic-only paths, handoff to
+// another function, struct-field escape, and the err/len vacuity guards.
+func TestObligationPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		prelude string
+		src     string
+		check   string
+		want    int // findings expected from that check
+	}{
+		{
+			name:    "leak on early return",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    1,
+			src: `
+func f(p *BufPool, fail bool) int {
+	b := p.Get()
+	if fail {
+		return -1
+	}
+	n := b.n
+	p.Put(b)
+	return n
+}`,
+		},
+		{
+			name:    "put on every branch is clean",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool, fail bool) int {
+	b := p.Get()
+	if fail {
+		p.Put(b)
+		return -1
+	}
+	n := b.n
+	p.Put(b)
+	return n
+}`,
+		},
+		{
+			name:    "panic-only path leaks without defer",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    1,
+			src: `
+func f(p *BufPool, bad bool) {
+	b := p.Get()
+	if bad {
+		panic("bad")
+	}
+	p.Put(b)
+}`,
+		},
+		{
+			name:    "defer covers the panic path",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool, bad bool) {
+	b := p.Get()
+	defer p.Put(b)
+	if bad {
+		panic("bad")
+	}
+}`,
+		},
+		{
+			name:    "deferred closure releases",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool) {
+	b := p.Get()
+	defer func() { p.Put(b) }()
+	b.n++
+}`,
+		},
+		{
+			name:    "goto skips the put",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    1,
+			src: `
+func f(p *BufPool, fail bool) {
+	b := p.Get()
+	if fail {
+		goto out
+	}
+	p.Put(b)
+out:
+	b.n++
+}`,
+		},
+		{
+			name:    "goto path that still puts is clean",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool, fail bool) {
+	b := p.Get()
+	if fail {
+		goto out
+	}
+	b.n++
+out:
+	p.Put(b)
+}`,
+		},
+		{
+			name:    "labeled break reaches the put",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool, items []int) {
+	b := p.Get()
+outer:
+	for _, it := range items {
+		for _, jt := range items {
+			if it == jt {
+				break outer
+			}
+		}
+	}
+	p.Put(b)
+}`,
+		},
+		{
+			name:    "return inside loop leaks",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    1,
+			src: `
+func f(p *BufPool, items []int) {
+	b := p.Get()
+	for _, it := range items {
+		if it < 0 {
+			return
+		}
+		b.n += it
+	}
+	p.Put(b)
+}`,
+		},
+		{
+			name:    "handoff to another function discharges",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool) {
+	b := p.Get()
+	take(p, b)
+}`,
+		},
+		{
+			name:    "struct-field store discharges",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool, s *sink) {
+	b := p.Get()
+	s.held = b
+}`,
+		},
+		{
+			name:    "return transfers the obligation",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    0,
+			src: `
+func f(p *BufPool) *Buf {
+	b := p.Get()
+	return b
+}`,
+		},
+		{
+			name:    "switch with a leaking case",
+			prelude: poolPrelude,
+			check:   "poolleak",
+			want:    1,
+			src: `
+func f(p *BufPool, k int) {
+	b := p.Get()
+	switch k {
+	case 0:
+		p.Put(b)
+	case 1:
+		return
+	default:
+		p.Put(b)
+	}
+}`,
+		},
+		{
+			name:    "deferloop flags per-iteration defer",
+			prelude: poolPrelude,
+			check:   "deferloop",
+			want:    1,
+			src: `
+func f(p *BufPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get()
+		defer p.Put(b)
+	}
+}`,
+		},
+		{
+			name:    "deferloop ignores iteration-scoped closure",
+			prelude: poolPrelude,
+			check:   "deferloop",
+			want:    0,
+			src: `
+func f(p *BufPool, n int) {
+	for i := 0; i < n; i++ {
+		func() {
+			b := p.Get()
+			defer p.Put(b)
+		}()
+	}
+}`,
+		},
+		{
+			name:    "fetch without settle leaks",
+			prelude: consPrelude,
+			check:   "ackleak",
+			want:    1,
+			src: `
+func f(c *Consumer, use func(Msg)) {
+	ds, err := c.Fetch(8)
+	if err != nil {
+		return
+	}
+	for _, d := range ds {
+		use(d.Msg)
+	}
+}`,
+		},
+		{
+			name:    "err and len guards are vacuous, loop settles",
+			prelude: consPrelude,
+			check:   "ackleak",
+			want:    0,
+			src: `
+func f(c *Consumer) {
+	ds, err := c.Fetch(8)
+	if err != nil || len(ds) == 0 {
+		return
+	}
+	for _, d := range ds {
+		_ = c.Ack(d.Seq)
+	}
+}`,
+		},
+		{
+			name:    "settle through an index-derived delivery",
+			prelude: consPrelude,
+			check:   "ackleak",
+			want:    0,
+			src: `
+func f(c *Consumer, requeue func(uint64)) {
+	ds, err := c.Fetch(8)
+	if err != nil {
+		return
+	}
+	for i := range ds {
+		d := ds[i]
+		requeue(d.Seq)
+	}
+}`,
+		},
+		{
+			name:    "goroutine without anchor is flagged",
+			prelude: "package snippet\n\ntype w struct{ n int }\n\nfunc (x *w) loop() { for { x.n++ } }\n",
+			check:   "goroleak",
+			want:    1,
+			src: `
+func f(x *w) {
+	go x.loop()
+}`,
+		},
+		{
+			name:    "goroutine selecting on done is clean",
+			prelude: "package snippet\n\ntype w struct{ n int; done chan struct{} }\n",
+			check:   "goroleak",
+			want:    0,
+			src: `
+func f(x *w) {
+	go func() {
+		for {
+			select {
+			case <-x.done:
+				return
+			default:
+				x.n++
+			}
+		}
+	}()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := parseSnippet(t, tc.prelude+tc.src)
+			var got []Finding
+			for _, f := range Run(pkg, Checks()) {
+				if f.Check == tc.check {
+					got = append(got, f)
+				}
+			}
+			if len(got) != tc.want {
+				t.Errorf("%s findings = %d, want %d: %v", tc.check, len(got), tc.want, got)
+			}
+		})
+	}
+}
+
+// TestLockheldCFGShapes exercises the ported lockheld on shapes the old
+// textual heuristic got wrong or could not express: unlock on both arms
+// of a nested branch, a leak confined to one switch case, and an unlock
+// only reachable by goto.
+func TestLockheldCFGShapes(t *testing.T) {
+	const prelude = `package snippet
+
+type mutex struct{ held bool }
+
+func (m *mutex) Lock()   { m.held = true }
+func (m *mutex) Unlock() { m.held = false }
+
+type box struct {
+	mu mutex
+	n  int
+}
+`
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "nested branches each unlock",
+			want: 0,
+			src: `
+func f(b *box, x, y bool) int {
+	b.mu.Lock()
+	if x {
+		if y {
+			b.mu.Unlock()
+			return 1
+		}
+		b.mu.Unlock()
+		return 2
+	}
+	b.mu.Unlock()
+	return 0
+}`,
+		},
+		{
+			name: "one switch case leaks",
+			want: 1,
+			src: `
+func f(b *box, k int) {
+	b.mu.Lock()
+	switch k {
+	case 0:
+		b.mu.Unlock()
+	case 1:
+		return
+	default:
+		b.mu.Unlock()
+	}
+}`,
+		},
+		{
+			name: "unlock after goto join",
+			want: 0,
+			src: `
+func f(b *box, x bool) {
+	b.mu.Lock()
+	if x {
+		goto out
+	}
+	b.n++
+out:
+	b.mu.Unlock()
+}`,
+		},
+		{
+			name: "loop early return leaks",
+			want: 1,
+			src: `
+func f(b *box, items []int) {
+	b.mu.Lock()
+	for _, it := range items {
+		if it < 0 {
+			return
+		}
+		b.n += it
+	}
+	b.mu.Unlock()
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg := parseSnippet(t, prelude+tc.src)
+			var got []Finding
+			for _, f := range Run(pkg, Checks()) {
+				if f.Check == "lockheld" {
+					got = append(got, f)
+				}
+			}
+			if len(got) != tc.want {
+				t.Errorf("lockheld findings = %d, want %d: %v", len(got), tc.want, got)
+			}
+		})
+	}
+}
+
+// TestCFGStructure sanity-checks the graph builder directly: every
+// return routes to the single exit block, select{} has no path onward,
+// and fallthrough links adjacent switch clauses.
+func TestCFGStructure(t *testing.T) {
+	const src = `package snippet
+
+func returns(x bool) int {
+	if x {
+		return 1
+	}
+	return 0
+}
+
+func forever(ch chan int) {
+	select {}
+}
+
+func falls(k int) int {
+	n := 0
+	switch k {
+	case 0:
+		n++
+		fallthrough
+	case 1:
+		n += 2
+	}
+	return n
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := map[string]*ast.BlockStmt{}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			bodies[fn.Name.Name] = fn.Body
+		}
+	}
+
+	// Count exit edges from blocks reachable from the entry: the builder
+	// also leaves an unreachable tail block after the final return, whose
+	// fallthrough edge must not be confused with a real path.
+	g := buildCFG(bodies["returns"])
+	reach := map[*cfgBlock]bool{}
+	var mark func(b *cfgBlock)
+	mark = func(b *cfgBlock) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.succs {
+			mark(s)
+		}
+	}
+	mark(g.entry)
+	exitPreds := 0
+	for _, b := range g.blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, s := range b.succs {
+			if s == g.exit {
+				exitPreds++
+			}
+		}
+	}
+	if exitPreds != 2 {
+		t.Errorf("returns: %d reachable edges into exit, want 2 (one per return)", exitPreds)
+	}
+
+	g = buildCFG(bodies["forever"])
+	if reachesExit(g) {
+		t.Error("select{}: exit is reachable, want forever-blocked")
+	}
+
+	g = buildCFG(bodies["falls"])
+	if !reachesExit(g) {
+		t.Error("fallthrough switch: exit unreachable")
+	}
+}
+
+func reachesExit(g *funcCFG) bool {
+	seen := map[*cfgBlock]bool{}
+	var walk func(b *cfgBlock) bool
+	walk = func(b *cfgBlock) bool {
+		if b == g.exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.entry)
+}
+
+// TestTerminatingCalls: os.Exit/log.Fatal-shaped calls terminate their
+// block the same way panic does.
+func TestTerminatingCalls(t *testing.T) {
+	for _, expr := range []string{`panic("x")`, `os.Exit(1)`, `log.Fatalf("x")`} {
+		src := "package snippet\n\nfunc f() {\n\t" + expr + "\n}\n"
+		f, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := f.Decls[0].(*ast.FuncDecl)
+		st := fn.Body.List[0].(*ast.ExprStmt)
+		if !isTerminatingCall(st.X) {
+			t.Errorf("%s not recognized as terminating", expr)
+		}
+	}
+	if isTerminatingCall(&ast.Ident{Name: "x"}) {
+		t.Error("bare ident recognized as terminating")
+	}
+	if !strings.Contains(poolPrelude, "package snippet") {
+		t.Fatal("prelude drifted")
+	}
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+var deferloopCheck = &Check{
+	Name: "deferloop",
+	Doc:  "defer of Unlock/RUnlock/Put inside a loop body runs at function exit, not per iteration",
+	Run:  runDeferloop,
+}
+
+// deferredReleaseNames are the release calls whose defer-in-loop is the
+// classic unbounded-obligation bug: the deferred Unlock/Put does not run
+// until the *function* returns, so iteration N+1 deadlocks on the lock
+// iteration N still holds, or the pool starves while every checked-out
+// buffer waits on the call stack.
+var deferredReleaseNames = map[string]bool{
+	"Unlock": true, "RUnlock": true, "Put": true,
+}
+
+func runDeferloop(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var loopBody *ast.BlockStmt
+			switch st := n.(type) {
+			case *ast.ForStmt:
+				loopBody = st.Body
+			case *ast.RangeStmt:
+				loopBody = st.Body
+			default:
+				return true
+			}
+			p.deferloopBody(loopBody)
+			return true
+		})
+	}
+}
+
+// deferloopBody scans one loop body for deferred release calls. Nested
+// function literals are their own functions — a defer there runs when
+// the literal returns, once per iteration, which is fine — and nested
+// loops are visited by the outer Inspect, so both are skipped here.
+func (p *Pass) deferloopBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.DeferStmt:
+			sel, ok := st.Call.Fun.(*ast.SelectorExpr)
+			if !ok || !deferredReleaseNames[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(st.Pos(),
+				"release at the end of the iteration (call it directly, or wrap the iteration in a func so the defer scopes to it)",
+				"defer %s.%s inside a loop runs at function exit, not per iteration — the obligation accumulates across iterations",
+				exprString(sel.X), sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// exprString renders short receiver expressions for messages.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.UnaryExpr:
+		return v.Op.String() + exprString(v.X)
+	}
+	return "?"
+}

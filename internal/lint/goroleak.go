@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var goroleakCheck = &Check{
+	Name: "goroleak",
+	Doc:  "goroutines spawned in internal/streams and internal/ldms must be tied to a stop channel, context, or WaitGroup",
+	Run:  runGoroleak,
+}
+
+// goroleakPaths are the module-relative package subtrees the check covers:
+// the transports that spawn long-lived goroutines. The deterministic sim
+// core is single-threaded by design and cmd/* binaries die with the
+// process, so a module-wide rule would be noise; these two packages hold
+// the monitor/heartbeat/accept loops whose leaks survive Close and fail
+// the -race soaks nondeterministically.
+var goroleakPaths = []string{"internal/streams", "internal/ldms"}
+
+// shutdownIdentNames are the identifier/field names whose use inside a
+// goroutine body marks it as tied to a shutdown signal.
+var shutdownIdentNames = map[string]bool{
+	"done": true, "stop": true, "stopCh": true, "quit": true,
+	"closing": true, "closed": true, "shutdown": true, "ctx": true,
+}
+
+// runGoroleak flags `go` statements whose goroutine is anchored to
+// nothing: no WaitGroup.Add before the spawn, and no reference to a stop
+// channel, context, or WaitGroup inside the goroutine body. Such a
+// goroutine cannot be joined by Close, so tests leak it, the race
+// detector sees it touch freed state, and a reconnect loop can resurrect
+// connections after shutdown.
+func runGoroleak(p *Pass) {
+	if !goroleakApplies(p) {
+		return
+	}
+	// Index same-package function declarations so `go f.monitor(conn)`
+	// can be judged by monitor's body.
+	decls := map[string]*ast.FuncDecl{}
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				decls[fn.Name.Name] = fn
+			}
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				p.goroleakFunc(body, decls)
+			}
+			return true
+		})
+	}
+}
+
+func goroleakApplies(p *Pass) bool {
+	for _, path := range goroleakPaths {
+		if p.RelPath == path || strings.HasPrefix(p.RelPath, path+"/") {
+			return true
+		}
+	}
+	// Fixture packages opt in by name.
+	return len(p.Files) > 0 && p.Files[0].Name.Name == "goroleak"
+}
+
+func (p *Pass) goroleakFunc(body *ast.BlockStmt, decls map[string]*ast.FuncDecl) {
+	inspectSameFunc(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if waitGroupAddBefore(p, body, gs) {
+			return true
+		}
+		if target := goroutineBody(gs, decls); target != nil {
+			if referencesShutdown(p, target) {
+				return true
+			}
+		} else {
+			// Spawned function is out of reach (another package, a
+			// variable): too opaque to judge, stay quiet.
+			return true
+		}
+		p.Reportf(gs.Pos(),
+			"tie the goroutine down: wg.Add(1) before the spawn with defer wg.Done() inside, or select on a stop channel/context in its body",
+			"goroutine is not tied to a stop channel, context, or WaitGroup — it cannot be joined on Close")
+		return true
+	})
+}
+
+// waitGroupAddBefore reports whether a WaitGroup.Add call precedes the go
+// statement in the same function body (the canonical `wg.Add(1); go ...`
+// spawn idiom).
+func waitGroupAddBefore(p *Pass, body *ast.BlockStmt, gs *ast.GoStmt) bool {
+	found := false
+	inspectSameFunc(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= gs.Pos() {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return !found
+		}
+		if isWaitGroupExpr(p, sel.X) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupExpr reports whether e is a sync.WaitGroup (by type when
+// available, by a name containing "wg"/"WaitGroup" otherwise).
+func isWaitGroupExpr(p *Pass, e ast.Expr) bool {
+	if t := p.TypeOf(e); t != nil {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+		}
+		return false
+	}
+	name := exprTailName(e)
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "wg") || strings.Contains(lower, "waitgroup")
+}
+
+// exprTailName extracts the final identifier of x / x.y / (&x).y chains.
+func exprTailName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.UnaryExpr:
+		return exprTailName(v.X)
+	case *ast.ParenExpr:
+		return exprTailName(v.X)
+	}
+	return ""
+}
+
+// goroutineBody resolves the body the go statement will execute: an
+// inline func literal, or a same-package function/method declaration
+// found by name. Returns nil when the callee is out of reach.
+func goroutineBody(gs *ast.GoStmt, decls map[string]*ast.FuncDecl) *ast.BlockStmt {
+	switch fn := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fn.Body
+	case *ast.Ident:
+		if d, ok := decls[fn.Name]; ok {
+			return d.Body
+		}
+	case *ast.SelectorExpr:
+		if d, ok := decls[fn.Sel.Name]; ok {
+			return d.Body
+		}
+	}
+	return nil
+}
+
+// referencesShutdown reports whether the goroutine body touches a
+// shutdown mechanism: a done/stop/quit/ctx identifier or field, a
+// ctx.Done() or wg.Done()/wg.Wait() call, or a context.Context value.
+func referencesShutdown(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident:
+			if shutdownIdentNames[e.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if shutdownIdentNames[e.Sel.Name] || e.Sel.Name == "Done" || e.Sel.Name == "Wait" {
+				found = true
+			}
+			if t := p.TypeOf(e.X); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -35,6 +35,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Zone classifies a package with respect to the determinism contract.
@@ -247,7 +248,8 @@ func (c *Check) appliesTo(z Zone) bool {
 	return false
 }
 
-// Checks returns the full suite in stable order.
+// Checks returns the full suite in stable order: the seven original
+// single-statement checks, then the CFG-backed lifecycle checks.
 func Checks() []*Check {
 	return []*Check{
 		walltimeCheck,
@@ -257,6 +259,10 @@ func Checks() []*Check {
 		lockheldCheck,
 		puberrCheck,
 		hotallocCheck,
+		poolleakCheck,
+		ackleakCheck,
+		goroleakCheck,
+		deferloopCheck,
 	}
 }
 
@@ -269,11 +275,26 @@ func CheckNames() []string {
 	return names
 }
 
+// CheckTiming is the wall time one check spent across the whole run,
+// surfaced by `dlc-lint -json` so a pathological fixture or a CFG blowup
+// shows up as a number instead of a mysteriously slow CI job.
+type CheckTiming struct {
+	Check  string        `json:"check"`
+	Elapse time.Duration `json:"elapsed_ns"`
+}
+
 // Run executes the given checks over pkg and returns surviving findings
 // (suppressions applied), sorted by position then check name.
 func Run(pkg *Package, checks []*Check) []Finding {
+	f, _ := RunTimed(pkg, checks)
+	return f
+}
+
+// RunTimed is Run plus per-check wall time, in suite order.
+func RunTimed(pkg *Package, checks []*Check) ([]Finding, []CheckTiming) {
 	allow := collectAllows(pkg)
 	var findings []Finding
+	var timings []CheckTiming
 	for _, c := range checks {
 		if !c.appliesTo(pkg.Zone) {
 			continue
@@ -285,7 +306,9 @@ func Run(pkg *Package, checks []*Check) []Finding {
 			}
 			findings = append(findings, f)
 		}
+		start := time.Now() //lint:allow walltime timing instrumentation, not sim state
 		c.Run(pass)
+		timings = append(timings, CheckTiming{Check: c.Name, Elapse: time.Since(start)}) //lint:allow walltime timing instrumentation, not sim state
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -300,7 +323,7 @@ func Run(pkg *Package, checks []*Check) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return findings
+	return findings, timings
 }
 
 // allowTable maps file -> line -> set of allowed check names ("*" = all).

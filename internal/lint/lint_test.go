@@ -75,7 +75,11 @@ func wantedFindings(t *testing.T, dir string) map[string]bool {
 // fixture asserts zero findings; the others each force their check to fire
 // and exercise suppression.
 func TestFixtures(t *testing.T) {
-	fixtures := []string{"walltime", "obsclock", "globalrand", "maporder", "lockheld", "puberr", "hotalloc", "clean"}
+	fixtures := []string{
+		"walltime", "obsclock", "globalrand", "maporder", "lockheld",
+		"puberr", "hotalloc", "poolleak", "ackleak", "goroleak",
+		"deferloop", "clean",
+	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, name)
@@ -208,7 +212,11 @@ func TestFindingJSONAndString(t *testing.T) {
 
 func TestCheckSuite(t *testing.T) {
 	names := CheckNames()
-	want := []string{"walltime", "obsclock", "globalrand", "maporder", "lockheld", "puberr", "hotalloc"}
+	want := []string{
+		"walltime", "obsclock", "globalrand", "maporder", "lockheld",
+		"puberr", "hotalloc", "poolleak", "ackleak", "goroleak",
+		"deferloop",
+	}
 	if len(names) != len(want) {
 		t.Fatalf("suite = %v, want %v", names, want)
 	}

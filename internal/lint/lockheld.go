@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -49,39 +50,36 @@ func runLockheld(p *Pass) {
 }
 
 type lockSite struct {
-	call  *ast.CallExpr
-	recv  string // printed receiver expression, e.g. "s.mu"
-	read  bool   // RLock vs Lock
-	block *ast.BlockStmt
-	index int // statement index within block
+	stmt *ast.ExprStmt // the statement holding the Lock call
+	call *ast.CallExpr
+	recv string // printed receiver expression, e.g. "s.mu"
+	read bool   // RLock vs Lock
 }
 
 func (p *Pass) lockheldFunc(body *ast.BlockStmt) {
 	var locks []lockSite
 	inspectSameFunc(body, func(n ast.Node) bool {
-		blk, ok := n.(*ast.BlockStmt)
+		es, ok := n.(*ast.ExprStmt)
 		if !ok {
 			return true
 		}
-		for i, st := range blk.List {
-			es, ok := st.(*ast.ExprStmt)
-			if !ok {
-				continue
-			}
-			call, ok := es.X.(*ast.CallExpr)
-			if !ok {
-				continue
-			}
-			recv, read, ok := p.asLockCall(call)
-			if !ok {
-				continue
-			}
-			locks = append(locks, lockSite{call: call, recv: recv, read: read, block: blk, index: i})
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
 		}
+		recv, read, ok := p.asLockCall(call)
+		if !ok {
+			return true
+		}
+		locks = append(locks, lockSite{stmt: es, call: call, recv: recv, read: read})
 		return true
 	})
+	if len(locks) == 0 {
+		return
+	}
+	g := buildCFG(body)
 	for _, l := range locks {
-		p.checkLock(body, l)
+		p.checkLock(g, body, l)
 	}
 }
 
@@ -132,7 +130,16 @@ func hasMethod(t types.Type, name string) bool {
 	return false
 }
 
-func (p *Pass) checkLock(funcBody *ast.BlockStmt, l lockSite) {
+// checkLock walks the CFG from one Lock call with the unlock as the
+// obligation's release. Report policy, preserved from the pre-CFG
+// heuristic so fixtures and suppressions stay stable:
+//
+//   - no unlock anywhere downstream → one finding at the Lock;
+//   - unlocks exist but a path leaks → one finding per leaking return;
+//   - a blocking sim primitive while the lock is open → finding at the
+//     blocking call (observed via onOpen, i.e. precisely on held paths,
+//     where the old heuristic used textual Lock..firstUnlock bounds).
+func (p *Pass) checkLock(g *funcCFG, funcBody *ast.BlockStmt, l lockSite) {
 	want := unlockName(l.read)
 
 	// A deferred unlock anywhere in the function covers every path.
@@ -140,65 +147,67 @@ func (p *Pass) checkLock(funcBody *ast.BlockStmt, l lockSite) {
 		return
 	}
 
-	// Collect explicit unlock calls after the Lock.
-	var unlocks []*ast.CallExpr
+	ob := &obligation{acquire: l.call, recv: l.recv}
+	seenBlocking := map[token.Pos]bool{}
+	spec := &obligationSpec{
+		isRelease: func(_ *obligation, call *ast.CallExpr) bool {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			return ok && sel.Sel.Name == want && types.ExprString(sel.X) == l.recv
+		},
+		onOpen: func(n ast.Node) {
+			inspectSameFunc(scanTarget(n), func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !blockingPrimNames[sel.Sel.Name] || !p.isSimBlockingRecv(sel.X) {
+					return true
+				}
+				if seenBlocking[call.Pos()] {
+					return true
+				}
+				seenBlocking[call.Pos()] = true
+				p.Reportf(call.Pos(),
+					"release "+l.recv+" before blocking in virtual time; a parked holder deadlocks the event loop",
+					"blocking sim primitive %s.%s called while %s is held",
+					types.ExprString(sel.X), sel.Sel.Name, l.recv)
+				return true
+			})
+		},
+	}
+	blk, idx := findNode(g, l.stmt)
+	if blk == nil {
+		return
+	}
+	leaks := walkObligation(g, blk, idx+1, ob, spec)
+	if len(leaks) == 0 {
+		return
+	}
+	hasUnlock := false
 	inspectSameFunc(funcBody, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() <= l.call.Pos() {
-			return true
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() > l.call.Pos() && spec.isRelease(ob, call) {
+			hasUnlock = true
 		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
-			sel.Sel.Name == want && types.ExprString(sel.X) == l.recv {
-			unlocks = append(unlocks, call)
-		}
-		return true
+		return !hasUnlock
 	})
-	if len(unlocks) == 0 {
+	if !hasUnlock {
 		p.Reportf(l.call.Pos(),
 			"add `defer "+l.recv+"."+want+"()` immediately after the Lock",
 			"%s.%s with no matching %s on any path", l.recv, lockName(l.read), want)
 		return
 	}
-	lastUnlock := unlocks[len(unlocks)-1]
-	firstUnlock := unlocks[0]
-
-	// Early returns between the Lock and the last unlock: flag any return
-	// with no unlock textually before it (cheap dominator approximation).
-	inspectSameFunc(funcBody, func(n ast.Node) bool {
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok || ret.Pos() <= l.call.Pos() || ret.Pos() >= lastUnlock.Pos() {
-			return true
+	for _, lk := range leaks {
+		if ret, ok := lk.at.(*ast.ReturnStmt); ok {
+			p.Reportf(ret.Pos(),
+				"unlock before returning, or hoist a `defer "+l.recv+"."+want+"()`",
+				"early return leaves %s locked", l.recv)
+			continue
 		}
-		for _, u := range unlocks {
-			if u.Pos() < ret.Pos() {
-				return true
-			}
-		}
-		p.Reportf(ret.Pos(),
-			"unlock before returning, or hoist a `defer "+l.recv+"."+want+"()`",
-			"early return leaves %s locked", l.recv)
-		return true
-	})
-
-	// Blocking sim primitives between the Lock and the first unlock.
-	inspectSameFunc(funcBody, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() <= l.call.Pos() || call.Pos() >= firstUnlock.Pos() {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !blockingPrimNames[sel.Sel.Name] {
-			return true
-		}
-		if !p.isSimBlockingRecv(sel.X) {
-			return true
-		}
-		p.Reportf(call.Pos(),
-			"release "+l.recv+" before blocking in virtual time; a parked holder deadlocks the event loop",
-			"blocking sim primitive %s.%s called while %s is held",
-			types.ExprString(sel.X), sel.Sel.Name, l.recv)
-		return true
-	})
+		p.Reportf(lk.at.Pos(),
+			"unlock on this path, or hoist a `defer "+l.recv+"."+want+"()`",
+			"path leaves %s locked at function exit", l.recv)
+	}
 }
 
 func lockName(read bool) string {

@@ -1,0 +1,377 @@
+package lint
+
+// obligation.go — a forward must-analysis over the function CFG for
+// "obligation" values: something acquired (a pooled batch checked out, a
+// lock taken, a batch of deliveries fetched) that must be released (Put,
+// Unlock, Ack/Nak) on every path to the function exit, unless ownership
+// escapes (the value is returned, stored into a struct field, or handed
+// to another function). The walker enumerates CFG paths from the acquire
+// site and reports every exit reachable with the obligation still open.
+//
+// Design choices, tuned against this module's real code:
+//
+//   - A deferred release (directly, or inside a deferred func literal)
+//     discharges every exit downstream of the defer statement — defers
+//     run on return and on panic alike.
+//   - Escapes discharge: a linter cannot see across the call boundary,
+//     so transferring the value out is treated as transferring the
+//     obligation with it. "Borrowing" calls (io.Write/Read-shaped names
+//     and the append/len/cap/copy builtins) are the exception: they use
+//     the value without taking it, so the obligation stays open across
+//     them — exactly the WriteBatchFrame shape, where the pooled buffer
+//     is written to the socket and must still be Put.
+//   - Narrow branch sensitivity: when the acquire also binds an error
+//     (`ds, err := c.Fetch(n)`), a branch guarded by `err != nil`,
+//     `x == nil` or `len(x) == 0` (or an ||-chain of those) holds no
+//     value to settle, so the true edge discharges vacuously. Without
+//     this every `if err != nil { return }` after a Fetch would be a
+//     false positive.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obligation is one acquired value being tracked.
+type obligation struct {
+	acquire ast.Node     // the acquiring statement, for reporting
+	obj     types.Object // variable bound to the value (nil for recv-identity)
+	name    string       // variable name fallback when type info is missing
+	errObj  types.Object // error bound by the same assignment, if any
+	recv    string       // printed receiver identity (lock obligations)
+}
+
+// obligationSpec parameterizes the walker per check.
+type obligationSpec struct {
+	// isRelease reports whether call settles the obligation.
+	isRelease func(ob *obligation, call *ast.CallExpr) bool
+	// escapes reports whether node transfers the value's ownership.
+	// May be nil (lock obligations never escape).
+	escapes func(ob *obligation, n ast.Node) bool
+	// onOpen, when set, observes every node traversed while the
+	// obligation is open (lockheld uses it for blocked-under-lock).
+	onOpen func(n ast.Node)
+}
+
+// leak is one path on which the obligation reached the exit unreleased.
+type leak struct {
+	at ast.Node // the return/terminating statement, or the acquire itself
+}
+
+// walkObligation enumerates paths from the acquire site and returns the
+// leaking exits, deduplicated by position.
+func walkObligation(g *funcCFG, start *cfgBlock, startIdx int, ob *obligation, spec *obligationSpec) []leak {
+	type item struct {
+		b *cfgBlock
+		i int
+	}
+	var leaks []leak
+	seenLeak := map[token.Pos]bool{}
+	visited := map[*cfgBlock]bool{}
+	work := []item{{start, startIdx}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		discharged := false
+		vacuousTrue := false
+		for i := it.i; i < len(it.b.nodes); i++ {
+			n := it.b.nodes[i]
+			if nodeDischarges(n, ob, spec) {
+				discharged = true
+				break
+			}
+			if spec.onOpen != nil {
+				spec.onOpen(n)
+			}
+		}
+		if discharged {
+			continue
+		}
+		if it.b.cond != nil && isVacuityGuard(it.b.cond, ob) {
+			vacuousTrue = true
+		}
+		for _, succ := range it.b.succs {
+			if vacuousTrue && succ == it.b.onTrue && succ != it.b.onFalse {
+				continue // guard says the value is absent on this edge
+			}
+			if succ == g.exit {
+				at := it.b.term
+				if at == nil {
+					at = ob.acquire
+				}
+				if !seenLeak[at.Pos()] {
+					seenLeak[at.Pos()] = true
+					leaks = append(leaks, leak{at: at})
+				}
+				continue
+			}
+			if !visited[succ] {
+				visited[succ] = true
+				work = append(work, item{succ, 0})
+			}
+		}
+	}
+	return leaks
+}
+
+// nodeDischarges reports whether executing n settles the obligation:
+// a release call, a deferred release, or an ownership escape.
+func nodeDischarges(n ast.Node, ob *obligation, spec *obligationSpec) bool {
+	if def, ok := n.(*ast.DeferStmt); ok {
+		return deferReleases(def, ob, spec)
+	}
+	if containsRelease(n, ob, spec) {
+		return true
+	}
+	return spec.escapes != nil && spec.escapes(ob, n)
+}
+
+// deferReleases reports whether a defer statement releases the
+// obligation, either directly (`defer mu.Unlock()`) or inside a deferred
+// closure (`defer func() { pool.Put(b) }()`).
+func deferReleases(def *ast.DeferStmt, ob *obligation, spec *obligationSpec) bool {
+	if spec.isRelease(ob, def.Call) {
+		return true
+	}
+	if lit, ok := def.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok && spec.isRelease(ob, call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// scanTarget maps CFG marker nodes to the real AST subtree a scanner may
+// walk: a rangeHeader scans only its range expression (the body has its
+// own blocks).
+func scanTarget(n ast.Node) ast.Node {
+	if rh, ok := n.(*rangeHeader); ok {
+		return rh.rng.X
+	}
+	return n
+}
+
+// containsRelease scans n (without entering nested function literals —
+// a closure body is a separate execution, not this path) for a release
+// call.
+func containsRelease(n ast.Node, ob *obligation, spec *obligationSpec) bool {
+	n = scanTarget(n)
+	found := false
+	inspectSameFunc(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok && spec.isRelease(ob, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObligation reports whether the expression tree references the
+// obligation's variable (by resolved object when available, by name
+// otherwise).
+func usesObligation(p *Pass, n ast.Node, ob *obligation) bool {
+	if n == nil || (ob.obj == nil && ob.name == "") {
+		return false
+	}
+	n = scanTarget(n)
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if ob.obj != nil {
+			if p.ObjectOf(id) == ob.obj {
+				found = true
+			}
+		} else if id.Name == ob.name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// borrowCallNames are selector names that use a value without taking
+// ownership of it: passing an obligation to them does NOT discharge it.
+var borrowCallNames = map[string]bool{
+	"Write": true, "Read": true, "WriteString": true, "WriteByte": true,
+	"ReadFrom": true, "WriteTo": true, "Flush": true,
+}
+
+// borrowBuiltins are builtins that never take ownership.
+var borrowBuiltins = map[string]bool{
+	"append": true, "len": true, "cap": true, "copy": true, "delete": true,
+}
+
+// valueEscapes is the shared ownership-escape rule for value obligations
+// (pooled buffers, fetched batches): the obligation is considered handed
+// off when the value is returned, stored into a field/map/slice/global,
+// sent on a channel, captured by a (non-deferred) closure, or passed as
+// an argument to a non-borrowing call.
+func valueEscapes(p *Pass, ob *obligation, n ast.Node, isRelease func(*ast.CallExpr) bool) bool {
+	n = scanTarget(n)
+	escaped := false
+	inspectSameFunc(n, func(x ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch e := x.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				if usesObligation(p, r, ob) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the value through a selector/index/star lvalue
+			// (s.f = b, m[k] = b, *p = b) transfers ownership.
+			rhsUses := false
+			for _, r := range e.Rhs {
+				if usesObligation(p, r, ob) {
+					rhsUses = true
+				}
+			}
+			if rhsUses {
+				for _, l := range e.Lhs {
+					switch l.(type) {
+					case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						escaped = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if usesObligation(p, e.Value, ob) {
+				escaped = true
+			}
+		case *ast.GoStmt:
+			if usesObligation(p, e.Call, ob) {
+				escaped = true
+			}
+		case *ast.FuncLit:
+			// A closure capturing the value may release it later.
+			if usesObligation(p, e.Body, ob) {
+				escaped = true
+			}
+			return false // separate scan unit either way
+		case *ast.CompositeLit:
+			if usesObligation(p, e, ob) {
+				escaped = true
+			}
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.AND && usesObligation(p, e.X, ob) {
+				escaped = true
+			}
+		case *ast.CallExpr:
+			if isRelease != nil && isRelease(e) {
+				return true // the release itself is not an escape
+			}
+			if isBorrowCall(e) {
+				return true // borrowed, not taken: keep scanning args
+			}
+			for _, a := range e.Args {
+				if usesObligation(p, a, ob) {
+					escaped = true
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+func isBorrowCall(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return borrowBuiltins[fn.Name]
+	case *ast.SelectorExpr:
+		return borrowCallNames[fn.Sel.Name]
+	}
+	return false
+}
+
+// isVacuityGuard reports whether cond tests that the obligation's value
+// is absent — `err != nil`, `x == nil`, `len(x) == 0`, or an ||-chain of
+// those — so the true branch vacuously discharges.
+func isVacuityGuard(cond ast.Expr, ob *obligation) bool {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return isVacuityGuard(e.X, ob)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return isVacuityGuard(e.X, ob) || isVacuityGuard(e.Y, ob)
+		case token.NEQ:
+			// err != nil
+			return identNamed(e.X, objName(ob.errObj, "")) && isNilIdent(e.Y)
+		case token.EQL:
+			// x == nil  |  len(x) == 0
+			valName := objName(ob.obj, ob.name)
+			if identNamed(e.X, valName) && isNilIdent(e.Y) {
+				return true
+			}
+			if call, ok := e.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 {
+					if identNamed(call.Args[0], valName) && isZeroLit(e.Y) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// objName resolves the name an obligation's variable goes by, preferring
+// the type-checked object. Guard matching is by name: it is only
+// consulted for idents in the same function as the obligation binding,
+// where a collision would require deliberate shadowing.
+func objName(obj types.Object, fallback string) string {
+	if obj != nil {
+		return obj.Name()
+	}
+	return fallback
+}
+
+func identNamed(e ast.Expr, name string) bool {
+	if name == "" {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// findNode locates the block and node index of the statement containing
+// pos (the acquire site) so the walk can start just past it.
+func findNode(g *funcCFG, target ast.Node) (*cfgBlock, int) {
+	for _, blk := range g.blocks {
+		for i, n := range blk.nodes {
+			if n == target || within(n, target) {
+				return blk, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// within reports whether target's position range sits inside n's.
+func within(n, target ast.Node) bool {
+	return n.Pos() <= target.Pos() && target.End() <= n.End()
+}

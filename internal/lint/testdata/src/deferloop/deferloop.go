@@ -1,0 +1,72 @@
+// Package deferloop is a known-bad fixture for the deferloop check.
+package deferloop
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// BufPool mimics an instrumented pool.
+type BufPool struct{}
+
+func (p *BufPool) Get() *[]byte  { return nil }
+func (p *BufPool) Put(b *[]byte) {}
+
+// LockPerKey defers the unlock inside the loop: iteration two deadlocks
+// on the lock iteration one still holds.
+func LockPerKey(s *store, keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		defer s.mu.Unlock() // want deferloop
+		s.m[k]++
+	}
+}
+
+// PutPerItem defers the Put inside the loop: every checked-out buffer
+// waits on the call stack until the function returns.
+func PutPerItem(p *BufPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get()
+		defer p.Put(b) // want deferloop
+	}
+}
+
+// GoodScopedFunc wraps the iteration in a function so the defer scopes
+// to it — once per iteration, as intended.
+func GoodScopedFunc(s *store, keys []string) {
+	for _, k := range keys {
+		func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.m[k]++
+		}()
+	}
+}
+
+// GoodDirectRelease releases at the end of the iteration without defer.
+func GoodDirectRelease(s *store, keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		s.m[k]++
+		s.mu.Unlock()
+	}
+}
+
+// GoodDeferOutsideLoop is the normal function-scoped defer.
+func GoodDeferOutsideLoop(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range s.m {
+		s.m[k]++
+	}
+}
+
+// Suppressed is an acknowledged accumulate-then-release pattern.
+func Suppressed(p *BufPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get()
+		defer p.Put(b) //lint:allow deferloop fixture: n is bounded by a config cap
+	}
+}

@@ -1,0 +1,77 @@
+// Package goroleak is a known-bad fixture for the goroleak check (the
+// check scopes to internal/streams and internal/ldms; fixture packages
+// opt in by being named goroleak).
+package goroleak
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	n    int
+}
+
+// loop has no shutdown reference of its own.
+func (w *worker) loop() {
+	for {
+		w.n++
+	}
+}
+
+// SpawnUntracked fires a goroutine nothing can join or stop.
+func (w *worker) SpawnUntracked() {
+	go w.loop() // want goroleak
+}
+
+// SpawnUntrackedLit: same bug, inline literal.
+func (w *worker) SpawnUntrackedLit() {
+	go func() { // want goroleak
+		w.n++
+	}()
+}
+
+// GoodWaitGroup is the canonical spawn idiom: Add before, Done inside.
+func (w *worker) GoodWaitGroup() {
+	w.wg.Add(1)
+	go w.loop()
+}
+
+// GoodStopChannel selects on the stop signal inside the body.
+func (w *worker) GoodStopChannel() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			default:
+				w.n++
+			}
+		}
+	}()
+}
+
+// GoodCtxParam threads a context through a named function.
+func (w *worker) GoodCtxParam() {
+	go w.ctxLoop()
+}
+
+func (w *worker) ctxLoop() {
+	for {
+		select {
+		case <-w.done:
+			return
+		default:
+		}
+	}
+}
+
+// OpaqueCallee spawns a function value the analysis cannot see into:
+// too opaque to judge, so it stays quiet.
+func OpaqueCallee(fn func()) {
+	go fn()
+}
+
+// Suppressed is an acknowledged fire-and-forget.
+func (w *worker) Suppressed() {
+	go w.loop() //lint:allow goroleak fixture: process-lifetime helper, dies with main
+}

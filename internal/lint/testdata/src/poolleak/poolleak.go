@@ -1,0 +1,144 @@
+// Package poolleak is a known-bad fixture for the poolleak check.
+package poolleak
+
+import "sync"
+
+// Batch mimics event.Batch.
+type Batch struct{ n int }
+
+// BatchPool mimics the instrumented event.BatchPool: Get checks out,
+// Put returns.
+type BatchPool struct{ free []*Batch }
+
+func (p *BatchPool) Get() *Batch {
+	if len(p.free) == 0 {
+		return &Batch{}
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b
+}
+
+func (p *BatchPool) Put(b *Batch) { p.free = append(p.free, b) }
+
+// holder receives escaped batches.
+type holder struct{ b *Batch }
+
+// Leak skips Put on the early-return path.
+func Leak(p *BatchPool, fail bool) int {
+	b := p.Get() // want poolleak
+	if fail {
+		return -1
+	}
+	n := b.n
+	p.Put(b)
+	return n
+}
+
+// LeakPanic skips Put on the panic-only path (a defer would cover it).
+func LeakPanic(p *BatchPool, bad bool) {
+	b := p.Get() // want poolleak
+	if bad {
+		panic("bad batch")
+	}
+	p.Put(b)
+}
+
+// GotoLeak jumps over the Put.
+func GotoLeak(p *BatchPool, fail bool) {
+	b := p.Get() // want poolleak
+	if fail {
+		goto out
+	}
+	p.Put(b)
+out:
+	b.n++
+}
+
+// LoopReturnLeak returns out of the loop with the batch still held.
+func LoopReturnLeak(p *BatchPool, items []int) {
+	b := p.Get() // want poolleak
+	for _, it := range items {
+		if it < 0 {
+			return
+		}
+		b.n += it
+	}
+	p.Put(b)
+}
+
+// GoodDefer is the canonical pattern: covers returns and panics alike.
+func GoodDefer(p *BatchPool) {
+	b := p.Get()
+	defer p.Put(b)
+	b.n++
+}
+
+// GoodDeferClosure releases inside a deferred closure (the
+// WriteBatchFrame shape).
+func GoodDeferClosure(p *BatchPool) {
+	b := p.Get()
+	defer func() { p.Put(b) }()
+	b.n++
+}
+
+// GoodManual puts on every path by hand.
+func GoodManual(p *BatchPool, fail bool) int {
+	b := p.Get()
+	if fail {
+		p.Put(b)
+		return -1
+	}
+	n := b.n
+	p.Put(b)
+	return n
+}
+
+// GoodReturn transfers ownership to the caller.
+func GoodReturn(p *BatchPool) *Batch {
+	b := p.Get()
+	b.n = 1
+	return b
+}
+
+// GoodFieldEscape stores the batch into a struct field: whoever holds h
+// owns the Put now.
+func GoodFieldEscape(p *BatchPool, h *holder) {
+	b := p.Get()
+	h.b = b
+}
+
+// GoodHandoff passes the batch to another function, obligation included.
+func GoodHandoff(p *BatchPool) {
+	b := p.Get()
+	consume(p, b)
+}
+
+func consume(p *BatchPool, b *Batch) { p.Put(b) }
+
+// GoodLabeledBreak releases after breaking out of nested loops.
+func GoodLabeledBreak(p *BatchPool, items []int) {
+	b := p.Get()
+outer:
+	for _, it := range items {
+		for _, jt := range items {
+			if it == jt {
+				break outer
+			}
+		}
+	}
+	p.Put(b)
+}
+
+// GoodSyncPool: sync.Pool itself is exempt (its Get feeds type
+// assertions that may legitimately discard).
+func GoodSyncPool(sp *sync.Pool) {
+	v := sp.Get()
+	_ = v
+}
+
+// Suppressed is an acknowledged handoff the analysis cannot see.
+func Suppressed(p *BatchPool) {
+	b := p.Get() //lint:allow poolleak fixture: released by a registered finalizer
+	b.n++
+}

@@ -3,6 +3,7 @@ package darshanldms_test
 import (
 	"encoding/json"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,24 +59,81 @@ func TestCLILintJSON(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1\n%s", code, out)
 	}
-	var findings []struct {
-		File    string `json:"file"`
-		Line    int    `json:"line"`
-		Check   string `json:"check"`
-		Message string `json:"message"`
+	var report struct {
+		Findings []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Suppressed    int `json:"suppressed"`
+		StaleBaseline []struct {
+			File  string `json:"file"`
+			Check string `json:"check"`
+			Count int    `json:"count"`
+		} `json:"stale_baseline"`
+		Checks []struct {
+			Check     string `json:"check"`
+			ElapsedNS int64  `json:"elapsed_ns"`
+		} `json:"checks"`
 	}
 	// CombinedOutput appends `go run`'s own "exit status 1" stderr line
 	// after the JSON document, so decode just the first value.
-	if err := json.NewDecoder(strings.NewReader(out)).Decode(&findings); err != nil {
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&report); err != nil {
 		t.Fatalf("bad JSON: %v\n%s", err, out)
 	}
-	if len(findings) == 0 {
+	if len(report.Findings) == 0 {
 		t.Fatal("no findings decoded")
 	}
-	for _, f := range findings {
+	for _, f := range report.Findings {
 		if f.Check != "puberr" || f.Line == 0 || f.File == "" {
 			t.Fatalf("malformed finding %+v", f)
 		}
+	}
+	if len(report.Checks) == 0 {
+		t.Fatal("no per-check timings in envelope")
+	}
+	seen := map[string]bool{}
+	for _, c := range report.Checks {
+		seen[c.Check] = true
+	}
+	for _, name := range []string{"puberr", "poolleak", "ackleak", "goroleak", "deferloop"} {
+		if !seen[name] {
+			t.Fatalf("timing for %s missing: %+v", name, report.Checks)
+		}
+	}
+}
+
+// TestCLILintBaseline drives the full baseline lifecycle: record debt on
+// a known-bad fixture, verify the baseline silences it, then verify a
+// stale entry (debt paid, e.g. by pointing at a clean package) fails.
+func TestCLILintBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "lint.baseline")
+
+	out, code := runLint(t, "-write-baseline", baseline, "./internal/lint/testdata/src/poolleak")
+	if code != 0 {
+		t.Fatalf("-write-baseline exit %d:\n%s", code, out)
+	}
+
+	out, code = runLint(t, "-baseline", baseline, "./internal/lint/testdata/src/poolleak")
+	if code != 0 {
+		t.Fatalf("baseline did not absorb known findings: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "suppressed by baseline") {
+		t.Fatalf("expected suppression notice:\n%s", out)
+	}
+
+	// Against a clean fixture every entry is stale: the guard must fail.
+	out, code = runLint(t, "-baseline", baseline, "./internal/lint/testdata/src/clean")
+	if code != 1 {
+		t.Fatalf("stale baseline exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "stale baseline entry") {
+		t.Fatalf("expected stale-entry notice:\n%s", out)
 	}
 }
 

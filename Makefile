@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-baseline test check chaos-smoke streams-smoke fuzz-smoke fuzz-corpus race-smoke cover determinism-smoke bench bench-smoke bench-full experiments examples clean
+.PHONY: all build vet lint lint-json lint-baseline test check chaos-smoke streams-smoke topo-smoke fuzz-smoke fuzz-corpus race-smoke cover determinism-smoke bench bench-smoke bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -56,6 +56,18 @@ chaos-smoke:
 streams-smoke:
 	$(GO) test -race -short -run 'StreamSoak' ./internal/harness
 
+# CI-sized control-plane soak under the race detector: the managed
+# topology (aggregation tree with failover + consistent-hash shards with
+# live rebalancing) must survive seeded schedules of aggregator crashes,
+# link partitions and mid-soak grow/shrink with zero invariant
+# violations — no acked record lost, no (producer,seq) stored twice,
+# every key exactly one post-cutover owner, ack floors never regress —
+# and the static-placement baseline must demonstrably lose acked data
+# under the same schedules (CI runs this too, as its own matrix leg).
+topo-smoke:
+	$(GO) test -race -short -count=1 -run 'RebalanceSoak' ./internal/harness
+	$(GO) test -race -count=1 ./internal/topo
+
 # Every parser-hardening fuzz target as package:Target pairs. fuzz-smoke
 # (local and in CI) iterates this list, and each target loads its checked-in
 # seed corpus from <package>/testdata/fuzz/<Target>/ (regenerate with
@@ -68,7 +80,8 @@ FUZZ_TARGETS ?= \
 	internal/ldms:FuzzReadBatchFrame \
 	internal/sos:FuzzRestore \
 	internal/streams:FuzzStreamCursor \
-	internal/streams:FuzzRetention
+	internal/streams:FuzzRetention \
+	internal/topo:FuzzRing
 
 # Short fuzz pass over every target in FUZZ_TARGETS (CI runs this too).
 FUZZTIME ?= 10s
@@ -88,7 +101,7 @@ fuzz-corpus:
 # the test cache so every run actually races; -short keeps soak
 # iterations CI-sized (CI runs this too, as its own matrix leg).
 race-smoke:
-	$(GO) test -race -count=1 -short ./internal/streams ./internal/ldms ./internal/dsos ./internal/obs
+	$(GO) test -race -count=1 -short ./internal/streams ./internal/ldms ./internal/dsos ./internal/obs ./internal/topo
 
 # Statement coverage with a ratchet: fail if the total drops more than
 # 0.5pt below the checked-in floor (ci/coverage.floor). Raise the floor

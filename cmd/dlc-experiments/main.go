@@ -6,9 +6,10 @@
 //	dlc-experiments [-seed N] [-reps N] [-scale F] [-out DIR] [-only LIST]
 //
 // -only selects a comma-separated subset of
-// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,pipeline}; the default
-// runs everything except pipeline, whose wall-clock numbers are
-// host-dependent and therefore never part of the golden output set.
+// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,topo,pipeline}; the
+// default runs everything except pipeline (whose wall-clock numbers are
+// host-dependent) and topo (the control-plane soak, reported as a CI
+// artifact rather than a golden output).
 // -scale shrinks the workloads (1.0 = the paper's full configuration;
 // runtimes and message counts scale with it).
 package main
@@ -34,7 +35,7 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 5)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper's full size)")
 	outDir := flag.String("out", "results", "output directory")
-	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,pipeline")
+	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,topo,pipeline")
 	bins := flag.Int("bins", 24, "time bins for Figure 9")
 	benchEvents := flag.Int("bench-events", 50_000, "events per pipeline benchmark rep")
 	benchBatch := flag.Int("bench-batch", 32, "records per batch frame in the pipeline benchmark")
@@ -164,6 +165,32 @@ func main() {
 		emit("chaos", text)
 		if soak.Violations != 0 {
 			fatal(fmt.Errorf("chaos soak: durable configuration violated %d invariants", soak.Violations))
+		}
+	}
+	if want["topo"] {
+		// Control-plane soak: the managed tree + hash ring must hold every
+		// invariant; the static-placement baseline under the same
+		// schedules must demonstrably lose acked data. Like pipeline, topo
+		// is excluded from "all" so the golden output set is unchanged.
+		managed := harness.DefaultRebalanceSoakConfig(*seed)
+		soak, err := harness.RebalanceSoak(managed)
+		if err != nil {
+			fatal(err)
+		}
+		text := harness.RenderRebalanceSoak(soak)
+		static := managed
+		static.Static = true
+		staticSoak, err := harness.RebalanceSoak(static)
+		if err != nil {
+			fatal(err)
+		}
+		text += "\n" + harness.RenderRebalanceSoak(staticSoak)
+		emit("topo", text)
+		if soak.Violations != 0 {
+			fatal(fmt.Errorf("rebalance soak: managed configuration violated %d invariants", soak.Violations))
+		}
+		if staticSoak.Violations == 0 {
+			fatal(fmt.Errorf("rebalance soak: static baseline lost nothing; the comparison is vacuous"))
 		}
 	}
 	if want["pipeline"] {

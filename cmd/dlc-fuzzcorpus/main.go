@@ -150,6 +150,22 @@ func main() {
 	write(sm, "FuzzRetention", "all-bounds-tight",
 		append([]byte{1, 1, 1}, bytes.Repeat([]byte{0, 200, 2, 255, 3, 0}, 8)...))
 
+	// --- topo.FuzzRing: consistent-hash ring op sequences ---
+	// Two bytes per op: (op%4, arg%8) — add, remove, single-owner lookup,
+	// replica-set lookup. The seeds drive membership churn around lookups
+	// so the order-independence check replays non-trivial histories.
+	tp := "internal/topo"
+	write(tp, "FuzzRing", "add-all-remove-all",
+		append(bytes.Repeat([]byte{0, 0}, 1), append(grow8(), shrink8()...)...))
+	write(tp, "FuzzRing", "churn-with-lookups",
+		[]byte{0, 0, 0, 1, 2, 3, 3, 5, 1, 0, 2, 3, 0, 2, 3, 1, 1, 1, 2, 7, 0, 4, 3, 2})
+	write(tp, "FuzzRing", "duplicate-adds-absent-removes",
+		[]byte{0, 5, 0, 5, 1, 5, 1, 5, 0, 5, 1, 6, 3, 4})
+	write(tp, "FuzzRing", "single-member-lookups",
+		append([]byte{0, 7}, bytes.Repeat([]byte{2, 1, 3, 6}, 6)...))
+	write(tp, "FuzzRing", "empty-ring-lookups",
+		bytes.Repeat([]byte{2, 0, 3, 7}, 4))
+
 	fmt.Fprintf(os.Stderr, "dlc-fuzzcorpus: wrote %d seed files under %s\n", n, *root)
 }
 
@@ -198,6 +214,24 @@ func validSegment() []byte {
 		fatal(err)
 	}
 	return data
+}
+
+// grow8 and shrink8 emit ring-op pairs adding then removing members
+// n0..n7, exercising every churn transition including down to empty.
+func grow8() []byte {
+	var out []byte
+	for i := byte(0); i < 8; i++ {
+		out = append(out, 0, i)
+	}
+	return out
+}
+
+func shrink8() []byte {
+	var out []byte
+	for i := byte(0); i < 8; i++ {
+		out = append(out, 1, i, 2, i)
+	}
+	return out
 }
 
 // corrupt returns a copy of data with the byte at i inverted.

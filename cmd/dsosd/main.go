@@ -16,6 +16,19 @@
 // insert then costs redelivery, not data, and a DedupStore absorbs the
 // redelivered overlap so the stored sequence stays exactly-once.
 //
+// With -topo-role store the shards switch from round-robin replica
+// groups to consistent-hash placement: the ring (seeded by
+// -topo-ring-seed, so every daemon with the same seed and shard set
+// agrees on each key's owner) places objects by (producer, job, rank),
+// an insert acks only when all R owners stored it, and the shard set
+// rebalances live through /topo/grow, /topo/shrink, /topo/cutover and
+// /topo/abort on the HTTP API — WAL-backed handoff logs, fenced
+// dual-writes during migration and an atomic ring swap at cutover, with
+// queries merging both owners mid-migration. /healthz gains a placement
+// probe that degrades while any owner group is entirely down. The -topo
+// flag set is validated strictly; inconsistent flags are a startup
+// error, never a silent default.
+//
 // Usage:
 //
 //	dsosd -listen :4420 -container darshan_data -snapshot data.sos
@@ -23,6 +36,7 @@
 //	      [-snapshot-every 30s] [-tag darshanConnector]
 //	      [-stream dsosd.stream] [-stream-consumer ingest]
 //	      [-stream-max-msgs 100000]
+//	      [-topo-role store] [-topo-ring-seed 42] [-topo-vnodes 64]
 package main
 
 import (
@@ -33,6 +47,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +58,7 @@ import (
 	"darshanldms/internal/obs"
 	"darshanldms/internal/sos"
 	"darshanldms/internal/streams"
+	"darshanldms/internal/topo"
 )
 
 func main() {
@@ -58,7 +74,22 @@ func main() {
 	streamPath := flag.String("stream", "", "durable ingest stream segment file; stages received messages before storing (empty = off)")
 	streamConsumer := flag.String("stream-consumer", "ingest", "durable consumer name for the ingest cursor")
 	streamMaxMsgs := flag.Int("stream-max-msgs", 100000, "ingest stream retention: max retained messages (0 = unbounded)")
+	topoRole := flag.String("topo-role", "", `topology role; only "store" applies to dsosd (empty = no topology plane)`)
+	topoRingSeed := flag.Uint64("topo-ring-seed", 0, "consistent-hash shard ring seed; same seed + same shards = same placement across restarts")
+	topoVNodes := flag.Int("topo-vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
 	flag.Parse()
+
+	// Topology flags are validated strictly — a misspelled role or a ring
+	// flag without the store role is a startup error, never a silent
+	// default: a daemon that quietly ignores its placement flags would
+	// disagree with the rest of the ring about every key's owner.
+	topoCfg := topo.Config{Role: *topoRole, RingSeed: *topoRingSeed, VNodes: *topoVNodes}
+	if err := topoCfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if topoCfg.Enabled() && topoCfg.Role != topo.RoleStoreName {
+		fatal(fmt.Errorf("topo: role %q belongs to ldmsd; dsosd only takes role %q", topoCfg.Role, topo.RoleStoreName))
+	}
 
 	// The DSOS cluster this dsosd owns: one or more container shards.
 	cluster := dsos.NewCluster(*daemons, *container)
@@ -97,8 +128,55 @@ func main() {
 	}
 	client := dsos.Connect(cluster)
 
+	// With -topo-role store, placement switches from round-robin replica
+	// groups to the consistent-hash ring: every insert is placed by its
+	// (producer, job, rank) key, acked only when all R owners stored it,
+	// and the shard set can grow or shrink live through the /topo admin
+	// endpoints (WAL-backed handoff, fenced dual-writes, atomic cutover).
+	var hc *topo.HashCluster
+	if topoCfg.Enabled() {
+		shardFactory := func(name string) (*dsos.Daemon, error) {
+			nd := dsos.NewDaemon(name, *container)
+			if err := nd.AddSchema(dsos.DarshanSchema()); err != nil {
+				return nil, err
+			}
+			for _, spec := range dsos.DarshanIndices() {
+				if err := nd.AddIndex(spec); err != nil {
+					return nil, err
+				}
+			}
+			if *walDir != "" {
+				fw, err := sos.OpenFileWAL(filepath.Join(*walDir, name+".wal"))
+				if err != nil {
+					return nil, err
+				}
+				nd.EnableWAL(fw)
+			} else {
+				nd.EnableWAL(sos.NewMemWAL())
+			}
+			return nd, nil
+		}
+		var err error
+		hc, err = topo.NewHashCluster(topo.HashConfig{
+			Seed:        topoCfg.RingSeed,
+			VNodes:      topoCfg.VNodes,
+			Replication: *repl,
+			Index:       "job_rank_time",
+			Factory:     shardFactory,
+		}, cluster.Daemons())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dsosd: hash placement over %d shards (ring seed %d, R=%d)\n",
+			len(hc.Members()), topoCfg.RingSeed, *repl)
+	}
+
 	d := ldms.NewDaemon("dsosd-ingest", "dsosd")
 	dstore := ldms.NewDSOSStore(client)
+	var store ldms.StorePlugin = dstore
+	if hc != nil {
+		store = topo.NewHashStore(hc)
+	}
 	var h *ldms.StoreHandle
 	var stream *streams.DurableStream
 	if *streamPath != "" {
@@ -128,7 +206,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		deduped := ldms.NewDedupStore(dstore)
+		deduped := ldms.NewDedupStore(store)
 		go func() {
 			for {
 				ds, err := cons.Fetch(64)
@@ -153,7 +231,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dsosd: durable ingest stream %s: recovered seqs [%d,%d], consumer %q at floor %d\n",
 			*streamPath, st.FirstSeq, st.LastSeq, *streamConsumer, cons.AckFloor())
 	} else {
-		h = d.AttachStore(*tag, dstore)
+		h = d.AttachStore(*tag, store)
 	}
 	srv, err := ldms.ListenTCP(d, *listen)
 	if err != nil {
@@ -183,13 +261,34 @@ func main() {
 			return
 		}
 	}
+	countObjects := func() int {
+		if hc == nil {
+			return client.Count(dsos.DarshanSchemaName)
+		}
+		n := 0
+		for _, name := range hc.Members() {
+			n += hc.Daemon(name).Count(dsos.DarshanSchemaName)
+		}
+		return n
+	}
 	snap := func() {
-		for i, d := range cluster.Daemons() {
-			path := *snapshot
-			if i > 0 {
-				path = fmt.Sprintf("%s.%d", *snapshot, i)
+		shards := 0
+		if hc != nil {
+			// Hash membership is dynamic (grow/shrink at runtime), so
+			// shard snapshots are keyed by member name, not launch index.
+			for _, name := range hc.Members() {
+				snapShard(fmt.Sprintf("%s.%s", *snapshot, name), hc.Daemon(name))
+				shards++
 			}
-			snapShard(path, d)
+		} else {
+			for i, d := range cluster.Daemons() {
+				path := *snapshot
+				if i > 0 {
+					path = fmt.Sprintf("%s.%d", *snapshot, i)
+				}
+				snapShard(path, d)
+				shards++
+			}
 		}
 		stored := uint64(0)
 		if h != nil {
@@ -198,7 +297,7 @@ func main() {
 			stored = stream.Stats().Appended
 		}
 		fmt.Fprintf(os.Stderr, "dsosd: snapshot %s (%d shards, %d objects, %d stored)\n",
-			*snapshot, *daemons, client.Count(dsos.DarshanSchemaName), stored)
+			*snapshot, shards, countObjects(), stored)
 	}
 
 	if *httpAddr != "" {
@@ -219,12 +318,64 @@ func main() {
 		}
 		health := obs.NewHealth()
 		health.Register("cluster", cluster.ClusterHealth())
+		if hc != nil {
+			// The placement probe degrades /healthz while any ring owner
+			// group is entirely down — the same groups Query reports as
+			// lost — so an operator sees unreadable keyspace before a
+			// reader does.
+			health.Register("placement", hc.Health())
+			hc.Collect(reg)
+		}
 
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(reg))
 		mux.Handle("/healthz", health.Handler())
+		if hc != nil {
+			admin := func(fn func(*http.Request) error) http.HandlerFunc {
+				return func(w http.ResponseWriter, r *http.Request) {
+					if r.Method != http.MethodPost {
+						http.Error(w, "POST only", http.StatusMethodNotAllowed)
+						return
+					}
+					if err := fn(r); err != nil {
+						http.Error(w, err.Error(), http.StatusConflict)
+						return
+					}
+					fmt.Fprintln(w, "ok")
+				}
+			}
+			shardArg := func(r *http.Request) (string, error) {
+				name := r.URL.Query().Get("shard")
+				if name == "" {
+					return "", fmt.Errorf("missing ?shard=<name>")
+				}
+				return name, nil
+			}
+			mux.HandleFunc("/topo/grow", admin(func(r *http.Request) error {
+				name, err := shardArg(r)
+				if err != nil {
+					return err
+				}
+				return hc.BeginAdd(name)
+			}))
+			mux.HandleFunc("/topo/shrink", admin(func(r *http.Request) error {
+				name, err := shardArg(r)
+				if err != nil {
+					return err
+				}
+				return hc.BeginRemove(name)
+			}))
+			mux.HandleFunc("/topo/cutover", admin(func(*http.Request) error { return hc.Cutover() }))
+			mux.HandleFunc("/topo/abort", admin(func(*http.Request) error { return hc.Abort() }))
+			mux.HandleFunc("/topo/stats", func(w http.ResponseWriter, r *http.Request) {
+				st := hc.Stats()
+				fmt.Fprintf(w, "members=%d migrating=%v migrations=%d aborts=%d moved=%d fenced=%d debt=%d\nring: %s\n",
+					st.Members, st.Migrating, st.Migrations, st.Aborts, st.Moved, st.FencedWrites, st.Debt,
+					strings.Join(hc.Members(), ","))
+			})
+		}
 		mux.HandleFunc("/count", func(w http.ResponseWriter, r *http.Request) {
-			fmt.Fprintln(w, client.Count(dsos.DarshanSchemaName))
+			fmt.Fprintln(w, countObjects())
 		})
 		mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 			index := r.URL.Query().Get("index")
@@ -248,7 +399,15 @@ func main() {
 					from, to = sos.Key{job, rank}, sos.Key{job, rank + 1}
 				}
 			}
-			objs, err := client.Query(index, from, to)
+			var objs []sos.Object
+			var err error
+			if hc != nil {
+				// Hash-mode queries merge both sides of any in-flight
+				// migration, so keys stay readable mid-cutover.
+				objs, _, err = hc.Query(index, from, to)
+			} else {
+				objs, err = client.Query(index, from, to)
+			}
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return

@@ -16,6 +16,7 @@
 //	      [-stream ldmsd.stream] [-stream-subjects 'darshan.>']
 //	      [-stream-max-msgs 100000] [-stream-max-bytes 0] [-stream-max-age 0]
 //	      [-stream-consumer uplink]
+//	      [-topo-role node|l1|l2] [-topo-parent host:4412] [-topo-standby host:4413]
 //
 // -seed pins the sampler RNG so fault campaigns against a real daemon are
 // reproducible; with -seed 0 (the default) the seed derives from the wall
@@ -38,6 +39,17 @@
 // exactly where the previous incarnation's acks stopped, so an aggregator
 // or daemon restart costs redelivery, never data. -stream supersedes
 // -reconnect for the uplink (the stream is the spool).
+//
+// -topo-role places the daemon in the explicit aggregation tree of the
+// scale-out control plane: node (leaf), l1 or l2 (aggregation levels).
+// The role requires -stream (the durable cursor is what makes failover
+// exactly-once) and -topo-parent, and conflicts with -forward. With
+// -topo-standby the uplink is wrapped in a failure detector that probes
+// the active upstream and, after three consecutive missed probes,
+// re-homes the durable consumer to the standby — the ack floor survives
+// the switch, so re-homing costs redelivery, never data. Validation is
+// strict: an inconsistent -topo flag set is a startup error, never a
+// silent default.
 package main
 
 import (
@@ -57,6 +69,7 @@ import (
 	"darshanldms/internal/rng"
 	"darshanldms/internal/sos"
 	"darshanldms/internal/streams"
+	"darshanldms/internal/topo"
 )
 
 func main() {
@@ -83,7 +96,29 @@ func main() {
 	streamMaxBytes := flag.Int64("stream-max-bytes", 0, "stream retention: max retained payload bytes (0 = unbounded)")
 	streamMaxAge := flag.Duration("stream-max-age", 0, "stream retention: max retained message age (0 = unbounded)")
 	streamConsumer := flag.String("stream-consumer", "uplink", "durable consumer name for the stream uplink cursor")
+	topoRole := flag.String("topo-role", "", "aggregation-tree role: node, l1 or l2 (empty = no topology plane)")
+	topoParent := flag.String("topo-parent", "", "upstream daemon address for the -topo-role (replaces -forward)")
+	topoStandby := flag.String("topo-standby", "", "failover upstream address; probed and switched to when the parent dies")
 	flag.Parse()
+
+	// Topology flags are validated strictly: a bad combination is a
+	// startup error, never a silent default — a daemon that ignores its
+	// topology flags looks healthy while sitting outside the tree.
+	topoCfg := topo.Config{Role: *topoRole, Parent: *topoParent, Standby: *topoStandby}
+	if err := topoCfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if topoCfg.Enabled() {
+		if topoCfg.Role == topo.RoleStoreName {
+			fatal(fmt.Errorf("topo: role %q belongs to dsosd, not ldmsd", topoCfg.Role))
+		}
+		if *forward != "" {
+			fatal(fmt.Errorf("topo: -topo-parent and -forward both set; the topology plane owns the uplink"))
+		}
+		if *streamPath == "" {
+			fatal(fmt.Errorf("topo: role %q needs -stream; failover without a durable cursor would lose the ack floor", topoCfg.Role))
+		}
+	}
 
 	d := ldms.NewDaemon("ldmsd", *producer)
 	count := &ldms.CountStore{}
@@ -169,6 +204,35 @@ func main() {
 	var fwd *ldms.ReconnectingForwarder
 	var uplink *ldms.TCPClient
 	var streamUp *ldms.StreamUplink
+	var failUp *ldms.FailoverUplink
+	if topoCfg.Enabled() {
+		if topoCfg.Standby != "" {
+			var err error
+			failUp, err = ldms.NewFailoverUplink(stream, ldms.FailoverConfig{
+				Primary: topoCfg.Parent,
+				Standby: topoCfg.Standby,
+				Uplink:  ldms.UplinkConfig{Consumer: *streamConsumer},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer failUp.Close()
+			fmt.Fprintf(os.Stderr, "ldmsd: topo role %q uplink to %s (standby %s, consumer %q)\n",
+				topoCfg.Role, topoCfg.Parent, topoCfg.Standby, *streamConsumer)
+		} else {
+			var err error
+			streamUp, err = ldms.NewStreamUplink(stream, ldms.UplinkConfig{
+				Addr:     topoCfg.Parent,
+				Consumer: *streamConsumer,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer streamUp.Close()
+			fmt.Fprintf(os.Stderr, "ldmsd: topo role %q uplink to %s (no standby, consumer %q)\n",
+				topoCfg.Role, topoCfg.Parent, *streamConsumer)
+		}
+	}
 	if *forward != "" {
 		if stream != nil {
 			var err error
@@ -276,7 +340,11 @@ func main() {
 				line += fmt.Sprintf(" fwd-sent=%d fwd-spool=%d fwd-dropped=%d fwd-reconnects=%d connected=%v",
 					st.Sent, st.SpoolDepth, st.Dropped, st.Reconnects, st.Connected)
 			}
-			if streamUp != nil {
+			if failUp != nil {
+				st := failUp.Stats()
+				line += fmt.Sprintf(" topo-active=%s topo-switches=%d topo-floor=%d topo-lag=%d",
+					st.Active, st.Switches, st.Uplink.Consumer.AckFloor, st.Uplink.Consumer.Lag)
+			} else if streamUp != nil {
 				st := streamUp.Stats()
 				line += fmt.Sprintf(" stream-sent=%d stream-lag=%d stream-floor=%d connected=%v",
 					st.Sent, st.Consumer.Lag, st.Consumer.AckFloor, st.Connected)
@@ -296,6 +364,9 @@ func main() {
 			if streamUp != nil {
 				// Best effort: whatever is not acked resumes next start.
 				_ = streamUp.Flush(5 * time.Second)
+			}
+			if failUp != nil {
+				_ = failUp.Flush(5 * time.Second)
 			}
 			fmt.Fprintf(os.Stderr, "ldmsd: shutting down after %d messages\n", srv.Received())
 			return

@@ -43,6 +43,28 @@ var ErrCrashed = errors.New("dsosd crashed")
 // merged objects are still returned alongside it.
 var ErrPartial = errors.New("dsos: partial result (replicas unavailable)")
 
+// PartialError is the concrete error behind ErrPartial: it names not just
+// the daemons that failed but the placement groups that went entirely
+// dark — the difference between a one-shard blip the merge covered from
+// replicas and a lost replica set that is actually hiding data. It
+// unwraps to ErrPartial, so errors.Is(err, ErrPartial) keeps working.
+type PartialError struct {
+	// Failed lists every daemon that could not serve the query.
+	Failed []string
+	// Groups lists the placement groups (R successive daemons) with every
+	// member down. Data placed on such a group is unreadable right now.
+	Groups [][]string
+}
+
+// Error renders the degradation, groups first: they are the actionable part.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("%v: placement groups dark: %v (daemons down: %v)",
+		ErrPartial, e.Groups, e.Failed)
+}
+
+// Unwrap preserves errors.Is(err, ErrPartial).
+func (e *PartialError) Unwrap() error { return ErrPartial }
+
 // Daemon is one dsosd instance: a storage server holding a container shard.
 // It is safe for concurrent use.
 type Daemon struct {
@@ -269,6 +291,126 @@ func (d *Daemon) Count(schema string) int {
 		return 0
 	}
 	return d.cont.Count(schema)
+}
+
+// RangeOrigins collects the objects with index-prefix keys in [from, to)
+// together with their origin ids — the per-shard read the topology layer's
+// hash-placement queries merge and dedup by origin.
+func (d *Daemon) RangeOrigins(index string, from, to sos.Key) ([]sos.Object, []uint64, error) {
+	return d.rangeQuery(index, from, to, true)
+}
+
+// KeyAttrs resolves an index to the attribute positions of its key and
+// the schema it is defined over, so callers outside the package can sort
+// and compare objects in index order.
+func (d *Daemon) KeyAttrs(index string) (attrs []int, schema string, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cont == nil {
+		return nil, "", fmt.Errorf("dsos: %s: %w", d.Name, ErrCrashed)
+	}
+	ix := d.cont.Index(index)
+	if ix == nil {
+		return nil, "", fmt.Errorf("dsos: unknown index %q", index)
+	}
+	spec := ix.Spec()
+	sch := d.cont.Schema(spec.Schema)
+	attrs = make([]int, len(spec.Attrs))
+	for i, a := range spec.Attrs {
+		attrs[i] = sch.AttrIndex(a)
+	}
+	return attrs, spec.Schema, nil
+}
+
+// RetainWhere rebuilds the shard keeping only the objects keep accepts,
+// and rewrites the write-ahead log (if any) to match, so a later restart
+// cannot resurrect what was dropped. index must cover the objects being
+// retained (any index over the schema does). It returns the number of
+// objects dropped. This is the post-cutover cleanup primitive of a shard
+// migration: the source retains exactly the keys it still owns.
+func (d *Daemon) RetainWhere(index string, keep func(obj sos.Object, origin uint64) bool) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fault != nil {
+		return 0, fmt.Errorf("dsos: %s unavailable: %w", d.Name, d.fault)
+	}
+	if d.cont == nil {
+		return 0, fmt.Errorf("dsos: %s: %w", d.Name, ErrCrashed)
+	}
+	// Capture rebuild material the same way Crash does, so daemons wrapped
+	// around restored containers survive the rebuild too.
+	if len(d.schemas) == 0 {
+		for _, name := range d.cont.Schemas() {
+			d.schemas = append(d.schemas, d.cont.Schema(name))
+		}
+	}
+	if len(d.idxSpecs) == 0 {
+		for _, name := range d.cont.Indices() {
+			d.idxSpecs = append(d.idxSpecs, d.cont.Index(name).Spec())
+		}
+	}
+	ix := d.cont.Index(index)
+	if ix == nil {
+		return 0, fmt.Errorf("dsos: unknown index %q", index)
+	}
+	schema := ix.Spec().Schema
+	type rec struct {
+		obj    sos.Object
+		origin uint64
+	}
+	var kept []rec
+	dropped := 0
+	if err := d.cont.IterOrigins(index, nil, func(o sos.Object, origin uint64) bool {
+		if keep(o, origin) {
+			kept = append(kept, rec{o, origin})
+		} else {
+			dropped++
+		}
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if dropped == 0 {
+		return 0, nil
+	}
+	cont := sos.NewContainer(d.contName)
+	for _, s := range d.schemas {
+		if err := cont.AddSchema(s); err != nil {
+			return 0, fmt.Errorf("dsos: %s retain: %w", d.Name, err)
+		}
+	}
+	for _, spec := range d.idxSpecs {
+		if _, err := cont.AddIndex(spec); err != nil {
+			return 0, fmt.Errorf("dsos: %s retain: %w", d.Name, err)
+		}
+	}
+	for _, r := range kept {
+		if err := cont.InsertOrigin(schema, r.obj, r.origin); err != nil {
+			return 0, fmt.Errorf("dsos: %s retain: %w", d.Name, err)
+		}
+	}
+	if d.wal != nil {
+		st := d.wal.Store()
+		switch w := st.(type) {
+		case interface{ Truncate(n int) }:
+			w.Truncate(0)
+		case interface{ Reset(n int64) error }:
+			if err := w.Reset(0); err != nil {
+				return 0, fmt.Errorf("dsos: %s retain: wal reset: %w", d.Name, err)
+			}
+		default:
+			return 0, fmt.Errorf("dsos: %s retain: WAL store %T cannot be rewritten", d.Name, st)
+		}
+		wal := sos.NewWAL(st)
+		for _, r := range kept {
+			if err := wal.Append(schema, r.obj, r.origin); err != nil {
+				return 0, fmt.Errorf("dsos: %s retain: wal rewrite: %w", d.Name, err)
+			}
+		}
+		d.wal = wal
+	}
+	d.cont = cont
+	return dropped, nil
 }
 
 // rangeQuery collects objects (and their origin ids when asked) with
@@ -526,6 +668,10 @@ type QueryInfo struct {
 	// failed daemon implies missing data; with R>1 only when R successive
 	// daemons (a whole placement group) are all down.
 	Partial bool
+	// LostGroups lists each placement group whose every member failed —
+	// the groups whose data the merge could not see. Empty when Partial
+	// is false.
+	LostGroups [][]string
 	// Repaired counts objects re-inserted into healthy daemons by read
 	// repair (under-replicated origins found during the merge).
 	Repaired int
@@ -545,7 +691,7 @@ func (cl *Client) Query(index string, from, to sos.Key) ([]sos.Object, error) {
 		return nil, err
 	}
 	if info.Partial {
-		return objs, fmt.Errorf("%w: daemons down: %v", ErrPartial, info.Failed)
+		return objs, &PartialError{Failed: info.Failed, Groups: info.LostGroups}
 	}
 	return objs, nil
 }
@@ -592,7 +738,8 @@ func (cl *Client) QueryEx(index string, from, to sos.Key) ([]sos.Object, QueryIn
 		origins[i] = r.origins
 		total += len(r.objs)
 	}
-	info.Partial = partial(failed, repl)
+	info.LostGroups = lostGroups(failed, repl, c.daemons)
+	info.Partial = len(info.LostGroups) > 0
 
 	// The daemons share the index definition; fetch key positions once.
 	keyAttrs, err := cl.keyExtractor(index)
@@ -606,14 +753,16 @@ func (cl *Client) QueryEx(index string, from, to sos.Key) ([]sos.Object, QueryIn
 	return merged, info, nil
 }
 
-// partial reports whether some placement group of R successive daemons is
-// entirely failed — the only configuration that can hide data from the
-// merge.
-func partial(failed []bool, repl int) bool {
+// lostGroups returns every placement group of R successive daemons that
+// is entirely failed — the only configuration that can hide data from
+// the merge. Each group is listed once, in daemon order, starting at its
+// lowest-index member.
+func lostGroups(failed []bool, repl int, daemons []*Daemon) [][]string {
 	n := len(failed)
 	if repl > n {
 		repl = n
 	}
+	var out [][]string
 	for start := 0; start < n; start++ {
 		allDown := true
 		for i := 0; i < repl; i++ {
@@ -622,11 +771,16 @@ func partial(failed []bool, repl int) bool {
 				break
 			}
 		}
-		if allDown {
-			return true
+		if !allDown {
+			continue
 		}
+		g := make([]string, 0, repl)
+		for i := 0; i < repl; i++ {
+			g = append(g, daemons[(start+i)%n].Name)
+		}
+		out = append(out, g)
 	}
-	return false
+	return out
 }
 
 // readRepair re-inserts under-replicated objects: every origin that the

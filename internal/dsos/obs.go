@@ -59,16 +59,35 @@ func (d *Daemon) Inserts() uint64 {
 	return d.inserts.Load()
 }
 
-// ClusterHealth returns a /healthz probe that fails when fewer live
-// daemons remain than the replication factor — the point at which an
-// insert can fail outright and a placement group can go dark.
+// DegradedGroups returns the placement groups (R successive daemons)
+// whose every member is currently down — the groups a query would be
+// blind to right now. Empty means fully readable.
+func (c *Cluster) DegradedGroups() [][]string {
+	failed := make([]bool, len(c.daemons))
+	for i, d := range c.daemons {
+		failed[i] = !d.Up()
+	}
+	return lostGroups(failed, c.Replication(), c.daemons)
+}
+
+// ClusterHealth returns a /healthz probe that fails when any placement
+// group has every replica down (queries are hiding data) or when fewer
+// live daemons remain than the replication factor (inserts can fail
+// outright). The error names the dark groups and the down daemons, so
+// the probe distinguishes a one-shard blip from a lost replica set.
 func (c *Cluster) ClusterHealth() func() error {
 	return func() error {
 		up := 0
+		var down []string
 		for _, d := range c.daemons {
 			if d.Up() {
 				up++
+			} else {
+				down = append(down, d.Name)
 			}
+		}
+		if groups := c.DegradedGroups(); len(groups) > 0 {
+			return &PartialError{Failed: down, Groups: groups}
 		}
 		if up < c.Replication() {
 			return ErrPartial

@@ -1,0 +1,211 @@
+package ldms
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"darshanldms/internal/streams"
+)
+
+// FailoverConfig parameterizes a FailoverUplink: a primary upstream
+// aggregator, a standby to re-home to, and the probe cadence that turns
+// consecutive dial failures into a failover decision.
+type FailoverConfig struct {
+	Primary string // primary upstream address (required)
+	Standby string // failover upstream address (required)
+
+	// ProbeEvery is the health-probe interval (default 250ms); FailAfter
+	// consecutive failed probes of the active upstream trigger a switch
+	// (default 3). Detection latency is therefore FailAfter x ProbeEvery.
+	ProbeEvery time.Duration
+	FailAfter  int
+
+	// DialTimeout bounds one probe dial (default 1s).
+	DialTimeout time.Duration
+
+	// Uplink is the underlying stream-uplink configuration; Addr is
+	// overwritten with whichever upstream is active, and the consumer
+	// name is shared across switches so the durable cursor — and with it
+	// the ack floor — survives every re-home.
+	Uplink UplinkConfig
+}
+
+func (c *FailoverConfig) setDefaults() {
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 250 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+}
+
+// FailoverStats snapshots a failover uplink.
+type FailoverStats struct {
+	Active   string // address currently uplinked to
+	Switches uint64 // upstream changes (primary<->standby, both directions)
+	Misses   uint64 // cumulative failed probes
+	Uplink   UplinkStats
+}
+
+// FailoverUplink wraps a StreamUplink with upstream failover: it probes
+// the active aggregator and, after FailAfter consecutive misses,
+// re-homes the uplink to the other address. Because both incarnations
+// share one durable consumer, the switch replaces the cursor holder
+// without moving the cursor: messages unacked at the moment of failover
+// are redelivered to the new upstream (duplicates for the downstream
+// dedup layer), and the ack floor never regresses. Switching is
+// symmetric — if the standby later dies, the uplink probes its way back.
+type FailoverUplink struct {
+	cfg    FailoverConfig
+	stream *streams.DurableStream
+
+	mu       sync.Mutex
+	active   string
+	uplink   *StreamUplink
+	switches uint64
+	misses   uint64
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewFailoverUplink starts the uplink against the primary and begins
+// probing. The returned uplink must be Closed.
+func NewFailoverUplink(s *streams.DurableStream, cfg FailoverConfig) (*FailoverUplink, error) {
+	if cfg.Primary == "" || cfg.Standby == "" {
+		return nil, errors.New("ldms: failover uplink needs a primary and a standby address")
+	}
+	if cfg.Primary == cfg.Standby {
+		return nil, errors.New("ldms: failover standby equals primary")
+	}
+	cfg.setDefaults()
+	f := &FailoverUplink{cfg: cfg, stream: s, active: cfg.Primary, done: make(chan struct{})}
+	u, err := f.dialUplink(cfg.Primary)
+	if err != nil {
+		return nil, err
+	}
+	f.uplink = u
+	f.wg.Add(1)
+	go f.probe()
+	return f, nil
+}
+
+func (f *FailoverUplink) dialUplink(addr string) (*StreamUplink, error) {
+	ucfg := f.cfg.Uplink
+	ucfg.Addr = addr
+	return NewStreamUplink(f.stream, ucfg)
+}
+
+// probe is the failure detector: a cheap periodic dial of the active
+// upstream. The uplink's own reconnect loop handles transient blips;
+// the prober only decides when "transient" has become "dead".
+func (f *FailoverUplink) probe() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.ProbeEvery)
+	defer t.Stop()
+	misses := 0
+	for {
+		select {
+		case <-f.done:
+			return
+		case <-t.C:
+		}
+		f.mu.Lock()
+		addr := f.active
+		f.mu.Unlock()
+		conn, err := net.DialTimeout("tcp", addr, f.cfg.DialTimeout)
+		if err == nil {
+			conn.Close()
+			misses = 0
+			continue
+		}
+		misses++
+		f.mu.Lock()
+		f.misses++
+		f.mu.Unlock()
+		if misses < f.cfg.FailAfter {
+			continue
+		}
+		misses = 0
+		f.switchOver()
+	}
+}
+
+// switchOver re-homes the uplink to the other upstream. The successor is
+// created first: claiming the shared consumer name atomically replaces
+// the old instance's cursor holder (its Fetch starts failing with
+// ErrConsumerClosed and its run loop exits), so there is no window where
+// an acked message could be lost or the floor could move backward.
+func (f *FailoverUplink) switchOver() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	old := f.uplink
+	next := f.cfg.Primary
+	if f.active == f.cfg.Primary {
+		next = f.cfg.Standby
+	}
+	u, err := f.dialUplink(next)
+	if err != nil {
+		// Keep the current uplink; the next probe round retries.
+		f.mu.Unlock()
+		return
+	}
+	f.uplink = u
+	f.active = next
+	f.switches++
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// Stats snapshots the failover state and the active uplink's counters.
+func (f *FailoverUplink) Stats() FailoverStats {
+	f.mu.Lock()
+	st := FailoverStats{Active: f.active, Switches: f.switches, Misses: f.misses}
+	u := f.uplink
+	f.mu.Unlock()
+	if u != nil {
+		st.Uplink = u.Stats()
+	}
+	return st
+}
+
+// Flush delegates to the active uplink.
+func (f *FailoverUplink) Flush(timeout time.Duration) error {
+	f.mu.Lock()
+	u := f.uplink
+	f.mu.Unlock()
+	if u == nil {
+		return nil
+	}
+	return u.Flush(timeout)
+}
+
+// Close stops the prober and the active uplink.
+func (f *FailoverUplink) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	u := f.uplink
+	f.mu.Unlock()
+	close(f.done)
+	f.wg.Wait()
+	var err error
+	if u != nil {
+		err = u.Close()
+	}
+	return err
+}

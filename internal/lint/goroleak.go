@@ -8,17 +8,17 @@ import (
 
 var goroleakCheck = &Check{
 	Name: "goroleak",
-	Doc:  "goroutines spawned in internal/streams and internal/ldms must be tied to a stop channel, context, or WaitGroup",
+	Doc:  "goroutines spawned in internal/streams, internal/ldms and internal/topo must be tied to a stop channel, context, or WaitGroup",
 	Run:  runGoroleak,
 }
 
 // goroleakPaths are the module-relative package subtrees the check covers:
 // the transports that spawn long-lived goroutines. The deterministic sim
 // core is single-threaded by design and cmd/* binaries die with the
-// process, so a module-wide rule would be noise; these two packages hold
-// the monitor/heartbeat/accept loops whose leaks survive Close and fail
-// the -race soaks nondeterministically.
-var goroleakPaths = []string{"internal/streams", "internal/ldms"}
+// process, so a module-wide rule would be noise; these packages hold the
+// monitor/heartbeat/accept loops (and the shard-query fan-out) whose
+// leaks survive Close and fail the -race soaks nondeterministically.
+var goroleakPaths = []string{"internal/streams", "internal/ldms", "internal/topo"}
 
 // shutdownIdentNames are the identifier/field names whose use inside a
 // goroutine body marks it as tied to a shutdown signal.

@@ -75,6 +75,7 @@ var simZonePaths = []string{
 	"internal/stats",
 	"internal/analysis",
 	"internal/harness",
+	"internal/topo",
 }
 
 // realZonePaths document the explicit allowlist of wall-clock users. They

@@ -19,11 +19,16 @@ var puberrCheck = &Check{
 // error leaves a shard silently empty. Ack/Nak/Fetch/AppendStream cover the
 // durable-stream consumer protocol: a swallowed Ack error stalls the floor
 // (redelivery storms), a swallowed Fetch error looks like an empty stream.
+// InsertBatch/BeginAdd/BeginRemove/Cutover/Abort/Settle cover hash-shard
+// placement and migration: a dropped Cutover error strands a migration
+// half-done with the fence still up.
 var pubErrNames = map[string]bool{
 	"Publish": true, "PublishJSON": true, "PublishString": true,
 	"Store": true, "Ingest": true,
 	"Insert": true, "Append": true, "Restart": true, "Recover": true,
 	"Ack": true, "Nak": true, "Fetch": true, "AppendStream": true,
+	"InsertBatch": true, "BeginAdd": true, "BeginRemove": true,
+	"Cutover": true, "Abort": true, "Settle": true,
 }
 
 // runPuberr flags bare expression statements calling a pubErrNames method

@@ -334,6 +334,31 @@ func (c *Consumer) Nak(seq uint64) error {
 	return nil
 }
 
+// Redeliver makes every inflight delivery immediately eligible again,
+// returning how many were rescheduled. It is the crash-recovery hook the
+// topology control plane uses when a consumer's process restarts (or its
+// children re-home): a dead process cannot ack the window it had open,
+// and without this the backlog would sit out the full ack deadline before
+// moving again. Redelivered messages count as redeliveries and keep
+// their delivery counts — the floor, as always, never moves backward.
+func (c *Consumer) Redeliver() int {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed {
+		return 0
+	}
+	now := now0(s)
+	n := 0
+	for _, st := range c.infl {
+		if st.due > now {
+			st.due = now
+			n++
+		}
+	}
+	return n
+}
+
 // now0 reads the stream clock (helper so Nak stays readable).
 func now0(s *DurableStream) time.Duration { return s.cfg.Clock() }
 

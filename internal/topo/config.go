@@ -1,0 +1,76 @@
+package topo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config is the -topo flag set shared by cmd/ldmsd and cmd/dsosd: which
+// role a daemon plays in the aggregation tree and, for the store role,
+// how the shard ring is seeded. Validation is strict — a misspelled role
+// or a parentless aggregator is a startup error, never a silent default:
+// a daemon that quietly ignores its topology flags looks healthy while
+// sitting outside the tree.
+type Config struct {
+	// Role is the daemon's position: "node" (leaf sampler), "l1" or "l2"
+	// (aggregation levels), or "store" (the storage head). Empty disables
+	// the topology plane entirely.
+	Role string
+	// Parent is the upstream daemon's address (host:port). Required for
+	// node/l1/l2 roles; forbidden for store (the store is the root).
+	Parent string
+	// Standby is the failover parent's address. Optional; requires Parent.
+	Standby string
+	// RingSeed seeds consistent-hash shard placement (store role only).
+	// Two store daemons with the same seed and shard set agree on every
+	// key's owner, which is what makes placement survive restarts.
+	RingSeed uint64
+	// VNodes is the virtual-node count per shard on the ring (store role
+	// only; 0 selects DefaultVNodes).
+	VNodes int
+}
+
+// Roles a daemon can take in the aggregation tree.
+const (
+	RoleNodeName  = "node"
+	RoleL1Name    = "l1"
+	RoleL2Name    = "l2"
+	RoleStoreName = "store"
+)
+
+// Enabled reports whether any topology flag was set.
+func (c Config) Enabled() bool {
+	return c.Role != "" || c.Parent != "" || c.Standby != "" || c.RingSeed != 0 || c.VNodes != 0
+}
+
+// Validate rejects inconsistent topology configuration with an error
+// naming the offending flag. A zero Config (topology disabled) is valid.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	switch c.Role {
+	case RoleNodeName, RoleL1Name, RoleL2Name:
+		if c.Parent == "" {
+			return fmt.Errorf("topo: role %q requires -topo-parent (an aggregation tree member needs an upstream)", c.Role)
+		}
+		if c.Standby == c.Parent && c.Standby != "" {
+			return errors.New("topo: -topo-standby equals -topo-parent; a standby must be a different daemon")
+		}
+		if c.RingSeed != 0 || c.VNodes != 0 {
+			return fmt.Errorf("topo: ring flags (-topo-ring-seed/-topo-vnodes) only apply to role %q", RoleStoreName)
+		}
+	case RoleStoreName:
+		if c.Parent != "" || c.Standby != "" {
+			return errors.New("topo: role \"store\" is the tree root; -topo-parent/-topo-standby do not apply")
+		}
+		if c.VNodes < 0 {
+			return fmt.Errorf("topo: -topo-vnodes %d is negative", c.VNodes)
+		}
+	case "":
+		return errors.New("topo: topology flags set without -topo-role (role must be node, l1, l2 or store)")
+	default:
+		return fmt.Errorf("topo: unknown -topo-role %q (want node, l1, l2 or store)", c.Role)
+	}
+	return nil
+}

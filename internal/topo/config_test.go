@@ -1,0 +1,51 @@
+package topo
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero config disabled", Config{}, true},
+		{"node with parent", Config{Role: "node", Parent: "agg1:411"}, true},
+		{"l1 with parent+standby", Config{Role: "l1", Parent: "agg2:411", Standby: "agg2b:411"}, true},
+		{"l2 with parent", Config{Role: "l2", Parent: "store:411"}, true},
+		{"store with ring", Config{Role: "store", RingSeed: 42, VNodes: 64}, true},
+		{"store bare", Config{Role: "store"}, true},
+
+		{"node missing parent", Config{Role: "node"}, false},
+		{"l1 missing parent", Config{Role: "l1"}, false},
+		{"standby equals parent", Config{Role: "node", Parent: "a:1", Standby: "a:1"}, false},
+		{"node with ring seed", Config{Role: "node", Parent: "a:1", RingSeed: 1}, false},
+		{"node with vnodes", Config{Role: "node", Parent: "a:1", VNodes: 8}, false},
+		{"store with parent", Config{Role: "store", Parent: "a:1"}, false},
+		{"store with standby", Config{Role: "store", Standby: "a:1"}, false},
+		{"store negative vnodes", Config{Role: "store", VNodes: -1}, false},
+		{"flags without role", Config{Parent: "a:1"}, false},
+		{"seed without role", Config{RingSeed: 9}, false},
+		{"unknown role", Config{Role: "aggregator", Parent: "a:1"}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reported enabled")
+	}
+	if !(Config{Role: "store"}).Enabled() {
+		t.Fatal("role set but not enabled")
+	}
+	if !(Config{RingSeed: 1}).Enabled() {
+		t.Fatal("seed set but not enabled")
+	}
+}

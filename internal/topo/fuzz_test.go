@@ -1,0 +1,90 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzRing drives the ring through arbitrary add/remove/lookup sequences
+// (two bytes per op) and checks the structural invariants after every
+// step: owners are always current members, replica sets are distinct and
+// correctly sized, and the final placement matches a fresh ring rebuilt
+// from nothing but (seed, final membership) — order independence, the
+// property restarts rely on.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{0x00, 0x01})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 0x00, 0x02, 0x05})
+	f.Add([]byte{0x00, 0x03, 0x03, 0x03, 0x01, 0x03, 0x00, 0x03, 0x02, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRing(77, 8)
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] % 4
+			arg := int(data[i+1] % 8)
+			name := fmt.Sprintf("n%d", arg)
+			switch op {
+			case 0:
+				if r.Has(name) {
+					if err := r.Add(name); err == nil {
+						t.Fatal("duplicate Add accepted")
+					}
+				} else if err := r.Add(name); err != nil {
+					t.Fatalf("Add(%s): %v", name, err)
+				}
+			case 1:
+				if !r.Has(name) {
+					if err := r.Remove(name); err == nil {
+						t.Fatal("absent Remove accepted")
+					}
+				} else if err := r.Remove(name); err != nil {
+					t.Fatalf("Remove(%s): %v", name, err)
+				}
+			case 2:
+				key := fmt.Sprintf("k%d", arg)
+				o, ok := r.Owner(key)
+				if ok != (r.Len() > 0) {
+					t.Fatalf("Owner ok=%v with %d members", ok, r.Len())
+				}
+				if ok && !r.Has(o) {
+					t.Fatalf("owner %q is not a member", o)
+				}
+			case 3:
+				key := fmt.Sprintf("k%d", arg)
+				n := 1 + arg%3
+				got := r.Owners(key, n)
+				want := n
+				if r.Len() < want {
+					want = r.Len()
+				}
+				if len(got) != want {
+					t.Fatalf("Owners(%q,%d) = %v with %d members", key, n, got, r.Len())
+				}
+				seen := map[string]bool{}
+				for _, m := range got {
+					if !r.Has(m) {
+						t.Fatalf("replica %q is not a member", m)
+					}
+					if seen[m] {
+						t.Fatalf("duplicate replica in %v", got)
+					}
+					seen[m] = true
+				}
+			}
+		}
+		// Order independence: replaying only the final membership into a
+		// fresh ring reproduces the placement exactly.
+		fresh := NewRing(77, 8)
+		for _, m := range r.Members() {
+			if err := fresh.Add(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			key := fmt.Sprintf("probe%d", i)
+			a := r.Owners(key, 2)
+			b := fresh.Owners(key, 2)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("placement depends on history: %v vs %v", a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,344 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"darshanldms/internal/dsos"
+	"darshanldms/internal/jsonmsg"
+	"darshanldms/internal/rng"
+	"darshanldms/internal/sos"
+)
+
+func darshanDaemon(t *testing.T, name string) *dsos.Daemon {
+	t.Helper()
+	d := dsos.NewDaemon(name, "darshan_data")
+	d.EnableWAL(sos.NewMemWAL())
+	if err := d.AddSchema(dsos.DarshanSchema()); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range dsos.DarshanIndices() {
+		if err := d.AddIndex(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func newHashCluster(t *testing.T, names ...string) *HashCluster {
+	t.Helper()
+	var members []*dsos.Daemon
+	for _, n := range names {
+		members = append(members, darshanDaemon(t, n))
+	}
+	h, err := NewHashCluster(HashConfig{
+		Seed:  7,
+		Index: "job_rank_time",
+		Factory: func(name string) (*dsos.Daemon, error) {
+			return darshanDaemon(t, name), nil
+		},
+	}, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func hashObj(job, rank int64, ts float64) sos.Object {
+	m := jsonmsg.Message{
+		UID: 99066, Exe: "/bin/app", JobID: job, Rank: int(rank),
+		ProducerName: fmt.Sprintf("nid%05d", rank), File: "/scratch/f", RecordID: 7,
+		Module: "POSIX", Type: jsonmsg.TypeMOD, Op: "write",
+		MaxByte: -1, Cnt: 1,
+		Seg: []jsonmsg.Segment{{
+			DataSet: jsonmsg.NA, PtSel: -1, IrregHSlab: -1, RegHSlab: -1,
+			NDims: -1, NPoints: -1, Off: 0, Len: 4096, Dur: 0.01, Timestamp: ts,
+		}},
+	}
+	return dsos.ObjectsFromMessage(&m)[0]
+}
+
+func fillHash(t *testing.T, h *HashCluster, n int, seed uint64) {
+	t.Helper()
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		o := hashObj(int64(1+r.Intn(3)), int64(r.Intn(32)), float64(i))
+		if err := h.Insert(dsos.DarshanSchemaName, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func auditClean(t *testing.T, h *HashCluster) {
+	t.Helper()
+	v, err := h.AuditPlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("placement violations: %v", v)
+	}
+}
+
+func queryAll(t *testing.T, h *HashCluster) []sos.Object {
+	t.Helper()
+	objs, info, err := h.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Partial {
+		t.Fatalf("unexpected partial query: %+v", info)
+	}
+	return objs
+}
+
+func TestHashInsertQueryAudit(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1", "d2", "d3")
+	fillHash(t, h, 400, 1)
+	if got := len(queryAll(t, h)); got != 400 {
+		t.Fatalf("query returned %d of 400", got)
+	}
+	auditClean(t, h)
+	// Placement by hash, not round-robin: shards are uneven but all used.
+	for _, name := range h.Members() {
+		if h.Daemon(name).Count(dsos.DarshanSchemaName) == 0 {
+			t.Fatalf("shard %s is empty", name)
+		}
+	}
+}
+
+func TestHashInsertRefusedWhenOwnerDown(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1")
+	fillHash(t, h, 50, 2)
+	h.Daemon("d0").Crash()
+	var refused bool
+	r := rng.New(3)
+	for i := 0; i < 50; i++ {
+		o := hashObj(int64(1+r.Intn(3)), int64(r.Intn(32)), float64(1000+i))
+		if err := h.Insert(dsos.DarshanSchemaName, o); err != nil {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("no insert refused with half the shards down")
+	}
+	if err := h.Daemon("d0").Restart(); err != nil {
+		t.Fatal(err)
+	}
+	auditClean(t, h)
+}
+
+func TestGrowCutoverMovesKeysOnce(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1", "d2")
+	fillHash(t, h, 300, 4)
+	before := queryAll(t, h)
+
+	if err := h.BeginAdd("d3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.BeginAdd("d4"); err == nil {
+		t.Fatal("second concurrent rebalance accepted")
+	}
+	// Mid-migration inserts dual-write behind the fence.
+	fillHash(t, h, 100, 5)
+	mid := queryAll(t, h)
+	if len(mid) != 400 {
+		t.Fatalf("mid-migration query returned %d of 400 (fence dup leaked?)", len(mid))
+	}
+	if err := h.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	after := queryAll(t, h)
+	if len(after) != 400 {
+		t.Fatalf("post-cutover query returned %d of 400", len(after))
+	}
+	auditClean(t, h)
+	st := h.Stats()
+	if st.Migrations != 1 || st.Moved == 0 {
+		t.Fatalf("stats = %+v (expected one migration moving objects)", st)
+	}
+	if h.Daemon("d3").Count(dsos.DarshanSchemaName) == 0 {
+		t.Fatal("new shard owns nothing after cutover")
+	}
+	_ = before
+}
+
+func TestShrinkCutoverDrainsLeaver(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1", "d2")
+	fillHash(t, h, 300, 6)
+	if err := h.BeginRemove("d2"); err != nil {
+		t.Fatal(err)
+	}
+	fillHash(t, h, 100, 7) // fenced to the new owners
+	if err := h.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(queryAll(t, h)); got != 400 {
+		t.Fatalf("post-shrink query returned %d of 400", got)
+	}
+	if len(h.Members()) != 2 || h.Daemon("d2") != nil {
+		t.Fatalf("leaver still present: %v", h.Members())
+	}
+	auditClean(t, h)
+}
+
+func TestShrinkRejectsDownOrLastMember(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1")
+	h.Daemon("d1").Crash()
+	if err := h.BeginRemove("d1"); err == nil {
+		t.Fatal("removing a down shard accepted (nothing to drain it from)")
+	}
+	if err := h.Daemon("d1").Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.BeginRemove("d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.BeginRemove("d0"); err == nil {
+		t.Fatal("removing the last member accepted")
+	}
+}
+
+func TestAbortUnwindsFence(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1", "d2")
+	fillHash(t, h, 200, 8)
+	if err := h.BeginAdd("d3"); err != nil {
+		t.Fatal(err)
+	}
+	fillHash(t, h, 100, 9) // some land on d3 via the fence
+	if err := h.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Daemon("d3") != nil {
+		t.Fatal("aborted grow left the staged shard in the cluster")
+	}
+	if got := len(queryAll(t, h)); got != 300 {
+		t.Fatalf("post-abort query returned %d of 300", got)
+	}
+	auditClean(t, h)
+	if h.Stats().Aborts != 1 {
+		t.Fatalf("stats = %+v", h.Stats())
+	}
+}
+
+func TestAbortShrinkSettlesDebtAfterRestart(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1", "d2")
+	fillHash(t, h, 200, 10)
+	if err := h.BeginRemove("d2"); err != nil {
+		t.Fatal(err)
+	}
+	fillHash(t, h, 100, 11) // fenced copies land on d0/d1
+	// A fence destination dies before the abort: its stray copies become
+	// debt, settled only after it restarts.
+	h.Daemon("d0").Crash()
+	if err := h.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Daemon("d0").Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Debt != 0 {
+		t.Fatalf("debt %d after settle", h.Stats().Debt)
+	}
+	if got := len(queryAll(t, h)); got != 300 {
+		t.Fatalf("post-abort query returned %d of 300", got)
+	}
+	auditClean(t, h)
+}
+
+func TestCutoverRetriesAfterDownSource(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1")
+	fillHash(t, h, 100, 12)
+	if err := h.BeginAdd("d2"); err != nil {
+		t.Fatal(err)
+	}
+	h.Daemon("d1").Crash()
+	if err := h.Cutover(); err == nil {
+		t.Fatal("cutover succeeded with a source down")
+	}
+	if err := h.Daemon("d1").Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(queryAll(t, h)); got != 100 {
+		t.Fatalf("query returned %d of 100", got)
+	}
+	auditClean(t, h)
+}
+
+func TestQueryReportsLostGroups(t *testing.T) {
+	h := newHashCluster(t, "d0", "d1", "d2")
+	fillHash(t, h, 100, 13)
+	h.Daemon("d1").Crash()
+	_, info, err := h.Query("job_rank_time", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Partial {
+		t.Fatal("R=1 with a shard down must be partial")
+	}
+	if len(info.LostGroups) != 1 || info.LostGroups[0][0] != "d1" {
+		t.Fatalf("lost groups = %v", info.LostGroups)
+	}
+}
+
+func TestPlacementDeterministicAcrossClusters(t *testing.T) {
+	// Two clusters built independently with the same seed and members
+	// place every object identically — the restart-survival property.
+	a := newHashCluster(t, "d0", "d1", "d2")
+	b := newHashCluster(t, "d0", "d1", "d2")
+	fillHash(t, a, 200, 14)
+	fillHash(t, b, 200, 14)
+	for _, name := range a.Members() {
+		ca, cb := a.Daemon(name).Count(dsos.DarshanSchemaName), b.Daemon(name).Count(dsos.DarshanSchemaName)
+		if ca != cb {
+			t.Fatalf("shard %s: %d vs %d objects", name, ca, cb)
+		}
+	}
+}
+
+func TestDarshanKeyStableAndFallback(t *testing.T) {
+	o := hashObj(3, 7, 1.5)
+	k := DarshanKey(dsos.DarshanSchemaName, o)
+	if !strings.Contains(k, "/3/7") {
+		t.Fatalf("key %q does not encode job/rank", k)
+	}
+	if k != DarshanKey(dsos.DarshanSchemaName, hashObj(3, 7, 99.0)) {
+		t.Fatal("same (producer,job,rank) produced different keys")
+	}
+	if DarshanKey("other", sos.Object{int64(1)}) == "" {
+		t.Fatal("fallback key empty")
+	}
+}
+
+func TestHashClusterConfigErrors(t *testing.T) {
+	if _, err := NewHashCluster(HashConfig{}, nil); err == nil {
+		t.Fatal("missing index accepted")
+	}
+	if _, err := NewHashCluster(HashConfig{Index: "i"}, nil); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	h := newHashCluster(t, "d0")
+	if err := h.BeginAdd("d0"); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if err := h.BeginRemove("ghost"); err == nil {
+		t.Fatal("removing an absent member accepted")
+	}
+	if err := h.Cutover(); err == nil {
+		t.Fatal("cutover without a migration accepted")
+	}
+	if err := h.Abort(); err == nil {
+		t.Fatal("abort without a migration accepted")
+	}
+}

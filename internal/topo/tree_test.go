@@ -1,0 +1,246 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"darshanldms/internal/sim"
+	"darshanldms/internal/sos"
+	"darshanldms/internal/streams"
+)
+
+// buildTestTree assembles root <- {l2} <- {l1a, l1b (standby l1s)} with
+// leaves under l1a.
+func buildTestTree(t *testing.T) *Tree {
+	t.Helper()
+	tr := NewTree(nil, 3)
+	add := func(s Spec) {
+		t.Helper()
+		s.Bus = streams.NewBus()
+		if err := tr.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(Spec{Name: "root", Role: RoleRoot})
+	add(Spec{Name: "l2", Role: RoleAgg, Parent: "root"})
+	add(Spec{Name: "l1s", Role: RoleAgg, Parent: "l2"})
+	add(Spec{Name: "l1a", Role: RoleAgg, Parent: "l2", Standby: "l1s"})
+	add(Spec{Name: "l1b", Role: RoleAgg, Parent: "l2", Standby: "l1s"})
+	add(Spec{Name: "leaf0", Role: RoleLeaf, Parent: "l1a", Standby: "l1b"})
+	add(Spec{Name: "leaf1", Role: RoleLeaf, Parent: "l1a"})
+	return tr
+}
+
+func TestTreeAddValidation(t *testing.T) {
+	tr := NewTree(nil, 0)
+	if err := tr.Add(Spec{Name: "a", Role: RoleAgg, Parent: "ghost"}); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if err := tr.Add(Spec{Name: "root", Role: RoleRoot, Parent: "x"}); err == nil {
+		t.Fatal("root with parent accepted")
+	}
+	if err := tr.Add(Spec{Name: "root", Role: RoleRoot}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(Spec{Name: "root", Role: RoleRoot}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := tr.Add(Spec{Name: "a", Role: RoleAgg, Parent: "root", Standby: "a"}); err == nil {
+		t.Fatal("self-standby accepted")
+	}
+	if err := tr.Add(Spec{Name: "a", Role: RoleAgg}); err == nil {
+		t.Fatal("parentless aggregator accepted")
+	}
+}
+
+func TestTreeFailoverToStandby(t *testing.T) {
+	tr := buildTestTree(t)
+	tr.Crash("l1a")
+	for i := 0; i < 2; i++ {
+		if _, ok := tr.Deliver("leaf0"); ok {
+			t.Fatal("delivered to a dead parent")
+		}
+		if got := tr.Parent("leaf0"); got != "l1a" {
+			t.Fatalf("re-homed after %d misses (threshold 3): parent %s", i+1, got)
+		}
+	}
+	tr.Deliver("leaf0") // third miss fires failover
+	if got := tr.Parent("leaf0"); got != "l1b" {
+		t.Fatalf("leaf0 parent = %s, want standby l1b", got)
+	}
+	if _, ok := tr.Deliver("leaf0"); !ok {
+		t.Fatal("delivery via standby failed")
+	}
+	if tr.Rehomes() != 1 {
+		t.Fatalf("rehomes = %d", tr.Rehomes())
+	}
+}
+
+func TestTreeFailoverToAncestorWhenNoStandby(t *testing.T) {
+	tr := buildTestTree(t)
+	tr.Crash("l1a")
+	for i := 0; i < 3; i++ {
+		tr.Deliver("leaf1") // no standby configured
+	}
+	if got := tr.Parent("leaf1"); got != "l2" {
+		t.Fatalf("leaf1 parent = %s, want grandparent l2", got)
+	}
+}
+
+func TestTreePartitionTriggersFailover(t *testing.T) {
+	tr := buildTestTree(t)
+	tr.SetPartition("leaf0", true)
+	for i := 0; i < 3; i++ {
+		if _, ok := tr.Deliver("leaf0"); ok {
+			t.Fatal("delivered across a partition")
+		}
+	}
+	if got := tr.Parent("leaf0"); got != "l1b" {
+		t.Fatalf("leaf0 parent = %s, want l1b", got)
+	}
+	// Re-home clears the partition: the cut link no longer exists.
+	if _, ok := tr.Deliver("leaf0"); !ok {
+		t.Fatal("delivery after partition failover failed")
+	}
+}
+
+func TestTreePartitionHealResetsMisses(t *testing.T) {
+	tr := buildTestTree(t)
+	tr.SetPartition("leaf0", true)
+	tr.Deliver("leaf0")
+	tr.Deliver("leaf0")
+	tr.SetPartition("leaf0", false)
+	tr.Deliver("leaf0") // would be the third miss if heal didn't reset
+	if got := tr.Parent("leaf0"); got != "l1a" {
+		t.Fatalf("healed link still failed over: parent %s", got)
+	}
+}
+
+func TestTreeNoFailbackAfterRestart(t *testing.T) {
+	tr := buildTestTree(t)
+	tr.Crash("l1a")
+	for i := 0; i < 3; i++ {
+		tr.Deliver("leaf0")
+	}
+	tr.Restart("l1a")
+	if _, ok := tr.Deliver("leaf0"); !ok {
+		t.Fatal("standby delivery failed")
+	}
+	if got := tr.Parent("leaf0"); got != "l1b" {
+		t.Fatalf("leaf0 failed back to %s", got)
+	}
+}
+
+func TestTreeStaysWhenNoCandidate(t *testing.T) {
+	tr := buildTestTree(t)
+	tr.Crash("l1a")
+	tr.Crash("l1b")
+	tr.Crash("l1s")
+	tr.Crash("l2")
+	tr.Crash("root")
+	for i := 0; i < 9; i++ {
+		tr.Deliver("leaf0")
+	}
+	if got := tr.Parent("leaf0"); got != "l1a" {
+		t.Fatalf("re-homed to %s with the whole upstream dead", got)
+	}
+	tr.Restart("l1b")
+	for i := 0; i < 3; i++ {
+		tr.Deliver("leaf0")
+	}
+	if got := tr.Parent("leaf0"); got != "l1b" {
+		t.Fatalf("retry after restart did not re-home: parent %s", got)
+	}
+}
+
+func TestTreeDeadChildCountsNothing(t *testing.T) {
+	tr := buildTestTree(t)
+	tr.Crash("leaf0")
+	before := tr.Misses()
+	if _, ok := tr.Deliver("leaf0"); ok {
+		t.Fatal("dead child delivered")
+	}
+	if tr.Misses() != before {
+		t.Fatal("dead child counted a heartbeat miss")
+	}
+}
+
+// TestUplinkRehomePreservesAckFloor runs a leaf's durable uplink in the
+// sim, kills the parent mid-stream, and checks the re-homed consumer
+// resumes from its ack floor — every message reaches exactly one parent
+// at least once, and the floor never regresses.
+func TestUplinkRehomePreservesAckFloor(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	tr := NewTree(e.Now, 3)
+	rootBus, aBus, bBus := streams.NewBus(), streams.NewBus(), streams.NewBus()
+	for _, s := range []Spec{
+		{Name: "root", Role: RoleRoot, Bus: rootBus},
+		{Name: "aggA", Role: RoleAgg, Parent: "root", Bus: aBus},
+		{Name: "aggB", Role: RoleAgg, Parent: "root", Bus: bBus},
+		{Name: "leaf", Role: RoleLeaf, Parent: "aggA", Standby: "aggB", Bus: streams.NewBus()},
+	} {
+		if err := tr.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leafStream, err := streams.OpenStream(streams.StreamConfig{Name: "leaf", Clock: e.Now}, sos.NewMemWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotA, gotB []string
+	aBus.Subscribe("data", func(m streams.Message) { gotA = append(gotA, string(m.Data)) })
+	bBus.Subscribe("data", func(m streams.Message) { gotB = append(gotB, string(m.Data)) })
+
+	u, err := StartUplink(e, tr, "leaf", leafStream, PumpConfig{Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	e.Spawn("producer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(2 * time.Millisecond)
+			if _, err := leafStream.Append(streams.Message{Tag: "data", Data: []byte{byte('0' + i%10)}}); err != nil {
+				panic(err)
+			}
+		}
+	})
+	e.At(40*time.Millisecond, func() { tr.Crash("aggA") })
+	e.Run(0)
+	e.Drain(2 * time.Second)
+
+	if tr.Parent("leaf") != "aggB" {
+		t.Fatalf("leaf parent = %s", tr.Parent("leaf"))
+	}
+	st := u.State()
+	if st.FloorRegressions != 0 {
+		t.Fatalf("ack floor regressed %d times across re-home", st.FloorRegressions)
+	}
+	if st.Floor != n {
+		t.Fatalf("ack floor %d, want %d (backlog not drained)", st.Floor, n)
+	}
+	if len(gotA) == 0 || len(gotB) == 0 {
+		t.Fatalf("expected traffic on both parents: A=%d B=%d", len(gotA), len(gotB))
+	}
+	if len(gotA)+len(gotB) < n {
+		t.Fatalf("parents saw %d messages, want >= %d", len(gotA)+len(gotB), n)
+	}
+}
+
+func TestTreeEventLogStampsVirtualTime(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	tr := NewTree(e.Now, 3)
+	if err := tr.Add(Spec{Name: "root", Role: RoleRoot}); err != nil {
+		t.Fatal(err)
+	}
+	e.At(250*time.Millisecond, func() { tr.Crash("root") })
+	if err := e.Drain(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 || !strings.Contains(evs[0].String(), "[   0.250s] crash root") {
+		t.Fatalf("events = %v", evs)
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-baseline test check chaos-smoke streams-smoke topo-smoke fuzz-smoke fuzz-corpus race-smoke cover determinism-smoke bench bench-smoke bench-full experiments examples clean
+.PHONY: all build vet lint lint-json lint-baseline test check chaos-smoke streams-smoke topo-smoke fuzz-smoke fuzz-corpus race-smoke cover determinism-smoke bench bench-smoke bench-floor bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -76,6 +76,7 @@ topo-smoke:
 FUZZ_TARGETS ?= \
 	internal/darshanlog:FuzzRead \
 	internal/jsonmsg:FuzzParse \
+	internal/event:FuzzSlabCodec \
 	internal/ldms:FuzzReadFrame \
 	internal/ldms:FuzzReadBatchFrame \
 	internal/sos:FuzzRestore \
@@ -130,11 +131,18 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Pipeline-throughput microbenchmark of the typed message plane; writes
-# results/BENCH_pipeline.json (events/sec, ns/event, allocs/event) and
-# fails if the typed plane is under 3x the legacy encode-reparse pipeline
-# (CI runs this too and uploads the JSON).
+# results/BENCH_pipeline.json (events/sec, ns/event, allocs/event plus
+# the 1/2/4/8-shard scaling series) and compares it against the committed
+# perf floor ci/bench.floor with the floor's ±10% noise band (CI runs
+# this too and uploads the JSON). The floor only tightens via an explicit
+# `make bench-floor` regeneration — never from a lucky CI run.
 bench-smoke:
-	$(GO) run ./cmd/dlc-experiments -only pipeline -reps 3 -out results
+	$(GO) run ./cmd/dlc-experiments -only pipeline -reps 3 -out results -bench-floor ci/bench.floor
+
+# Deliberately regenerate the committed perf floor from this machine's
+# run (the ratchet's only tightening path, mirroring the lint baseline).
+bench-floor:
+	$(GO) run ./cmd/dlc-experiments -only pipeline -reps 3 -out results -bench-floor ci/bench.floor -write-floor
 
 # The paper's full workload sizes (slow: ~20 minutes).
 bench-full:

@@ -37,8 +37,11 @@ func main() {
 	outDir := flag.String("out", "results", "output directory")
 	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,topo,pipeline")
 	bins := flag.Int("bins", 24, "time bins for Figure 9")
-	benchEvents := flag.Int("bench-events", 50_000, "events per pipeline benchmark rep")
-	benchBatch := flag.Int("bench-batch", 32, "records per batch frame in the pipeline benchmark")
+	benchEvents := flag.Int("bench-events", 75_000, "events per pipeline benchmark rep")
+	benchBatch := flag.Int("bench-batch", 512, "records per batch frame in the pipeline benchmark")
+	benchShards := flag.String("bench-shards", "1,2,4,8", "comma-separated shard counts for the pipeline scaling series (empty skips it)")
+	benchFloor := flag.String("bench-floor", "", "compare the pipeline benchmark against this committed floor file and fail on regression")
+	writeFloor := flag.Bool("write-floor", false, "regenerate the -bench-floor file from this run instead of checking against it (the only way the ratchet tightens)")
 	telemetry := flag.Bool("telemetry", false, "enable per-event span tracing and dump a pipeline telemetry snapshot to stderr; the generated tables and figures are bit-identical either way (CI diffs the two modes)")
 	flag.Parse()
 
@@ -197,7 +200,19 @@ func main() {
 		// Wall-clock microbenchmark of the typed message plane; excluded
 		// from "all" so golden regeneration stays host-independent. The
 		// JSON artifact carries the machine-readable numbers for CI.
-		report, err := pipebench.Run(*seed, *benchEvents, *reps, *benchBatch)
+		var shards []int
+		for _, s := range strings.Split(*benchShards, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 1 {
+				fatal(fmt.Errorf("pipeline bench: bad -bench-shards entry %q", s))
+			}
+			shards = append(shards, n)
+		}
+		report, err := pipebench.RunShards(*seed, *benchEvents, *reps, *benchBatch, shards)
 		if err != nil {
 			fatal(err)
 		}
@@ -209,6 +224,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 		if report.SpeedupTyped < 3 {
 			fatal(fmt.Errorf("pipeline bench: typed plane %.2fx vs legacy, want >= 3x", report.SpeedupTyped))
+		}
+		if *benchFloor != "" {
+			if *writeFloor {
+				if err := pipebench.WriteFloor(*benchFloor, report); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *benchFloor)
+			} else if err := pipebench.CheckFile(*benchFloor, report); err != nil {
+				fatal(err)
+			} else {
+				fmt.Fprintf(os.Stderr, "bench floor %s holds\n", *benchFloor)
+			}
 		}
 	}
 	if want["7"] || want["8"] || want["9"] {

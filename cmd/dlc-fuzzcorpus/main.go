@@ -24,6 +24,7 @@ import (
 
 	"darshanldms/internal/darshan"
 	"darshanldms/internal/darshanlog"
+	"darshanldms/internal/event"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
 	"darshanldms/internal/sos"
@@ -72,6 +73,21 @@ func main() {
 	write(jm, "FuzzParse", "huge-number", []byte(`{"uid":1`+string(bytes.Repeat([]byte("0"), 400))+`}`))
 	write(jm, "FuzzParse", "duplicate-keys", []byte(`{"module":"POSIX","module":"MPIIO","seg":[{"off":1,"off":2}]}`))
 	write(jm, "FuzzParse", "nul-and-invalid-utf8", []byte("{\"file\":\"\x00\xff\xfe\",\"module\":\"POSIX\"}"))
+
+	// --- event.FuzzSlabCodec: compact binary record codec (the target
+	// differentially decodes each seed through the heap and slab paths) ---
+	ev := "internal/event"
+	rec := event.AppendMessage(nil, &m)
+	write(ev, "FuzzSlabCodec", "valid-record", rec)
+	multi := m
+	multi.Seg = append(append([]jsonmsg.Segment{}, m.Seg...), m.Seg[0], m.Seg[0])
+	write(ev, "FuzzSlabCodec", "multi-segment-record", event.AppendMessage(nil, &multi))
+	write(ev, "FuzzSlabCodec", "empty-record", event.AppendMessage(nil, &jsonmsg.Message{}))
+	write(ev, "FuzzSlabCodec", "truncated-record", rec[:len(rec)/2])
+	write(ev, "FuzzSlabCodec", "corrupt-mid-record", corrupt(rec, len(rec)/2))
+	// Maximal varint continuation bytes: hostile string lengths and
+	// segment counts for the bounded-allocation checks.
+	write(ev, "FuzzSlabCodec", "hostile-varints", bytes.Repeat([]byte{0xFF}, 48))
 
 	// --- ldms.FuzzReadFrame: legacy single-message framing ---
 	lp := "internal/ldms"

@@ -106,6 +106,12 @@ func ObjectsFromMessage(m *jsonmsg.Message) []sos.Object {
 // here as the struct the connector built, not as JSON bytes to re-parse —
 // and the outer slice can be reused across messages (the objects
 // themselves are fresh; the store retains them).
+//
+// This is the legacy boxing builder, kept as the typed-lazy baseline the
+// pipeline benchmark compares against; the batched wire path builds rows
+// through RowArena.AppendObjects instead.
+//
+//lint:allow hotalloc deliberate legacy baseline; hot ingest uses RowArena
 func AppendObjects(dst []sos.Object, m *jsonmsg.Message) []sos.Object {
 	for i := range m.Seg {
 		s := &m.Seg[i]

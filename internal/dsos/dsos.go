@@ -446,6 +446,8 @@ type Cluster struct {
 
 // NewCluster creates n daemons named dsosd0..dsosd(n-1), all hosting the
 // same logical container.
+//
+//lint:allow hotalloc cluster construction runs once, not per event
 func NewCluster(n int, containerName string) *Cluster {
 	if n <= 0 {
 		panic("dsos: cluster needs at least one daemon")
@@ -459,6 +461,8 @@ func NewCluster(n int, containerName string) *Cluster {
 
 // NewClusterFromContainers wraps existing containers (e.g. restored
 // snapshots) as a cluster, one daemon per container.
+//
+//lint:allow hotalloc snapshot restore runs once, not per event
 func NewClusterFromContainers(conts []*sos.Container) *Cluster {
 	if len(conts) == 0 {
 		panic("dsos: cluster needs at least one container")
@@ -840,6 +844,8 @@ func (cl *Client) indexSchema(index string) (name, schema string) {
 // (retention management) and compacts. It returns the number of objects
 // removed. Crashed daemons are skipped (their shards rebuild from the WAL,
 // which retains deleted jobs — retention re-runs after recovery).
+//
+//lint:allow hotalloc retention management runs per job, off the ingest path
 func (cl *Client) DeleteJob(jobID int64) (int, error) {
 	total := 0
 	for _, d := range cl.c.daemons {
@@ -865,6 +871,8 @@ func (cl *Client) DeleteJob(jobID int64) (int, error) {
 // schema, discovered by index hopping (seek to job+1 after each hit) so the
 // cost is O(jobs x log n) rather than a full scan. Crashed daemons are
 // skipped.
+//
+//lint:allow hotalloc query-side index hopping, two keys per job not per event
 func (cl *Client) DistinctJobs() ([]int64, error) {
 	seen := map[int64]bool{}
 	for _, d := range cl.c.daemons {

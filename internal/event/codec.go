@@ -97,18 +97,34 @@ func (d *decoder) zig() int64 {
 	return int64(u>>1) ^ -int64(u&1)
 }
 
-func (d *decoder) str() string {
+// strBytes returns a view into the input for the next length-prefixed
+// string; the caller copies or interns it. A nil return with no error is
+// the empty string.
+func (d *decoder) strBytes() []byte {
 	n := d.uvarint()
 	if d.err != nil {
-		return ""
+		return nil
 	}
 	if n > uint64(len(d.b)-d.off) {
 		d.err = ErrTruncated
+		return nil
+	}
+	b := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// str materializes the next string, interning through in when provided
+// (the slab path: repeated field values stop allocating entirely).
+func (d *decoder) str(in *Interner) string {
+	b := d.strBytes()
+	if in != nil {
+		return in.Intern(b)
+	}
+	if len(b) == 0 {
 		return ""
 	}
-	s := string(d.b[d.off : d.off+int(n)])
-	d.off += int(n)
-	return s
+	return string(b)
 }
 
 func (d *decoder) float() float64 {
@@ -124,39 +140,43 @@ func (d *decoder) float() float64 {
 	return f
 }
 
-// DecodeMessage decodes one binary record from the front of b, returning
-// the message and the number of bytes consumed.
-func DecodeMessage(b []byte) (*jsonmsg.Message, int, error) {
-	d := &decoder{b: b}
-	m := &jsonmsg.Message{}
+// decodeInto decodes one binary record from the front of d.b into m,
+// interning strings through in when non-nil and allocating the segment
+// backing from slab when non-nil (falling back to the heap otherwise).
+func (d *decoder) decodeInto(m *jsonmsg.Message, slab *Slab, in *Interner) error {
+	m.Seg = nil // m may be reused arena memory; every other field is assigned below
 	m.UID = d.zig()
-	m.Exe = d.str()
+	m.Exe = d.str(in)
 	m.JobID = d.zig()
 	m.Rank = int(d.zig())
-	m.ProducerName = d.str()
-	m.File = d.str()
+	m.ProducerName = d.str(in)
+	m.File = d.str(in)
 	m.RecordID = d.uvarint()
-	m.Module = d.str()
-	m.Type = d.str()
+	m.Module = d.str(in)
+	m.Type = d.str(in)
 	m.MaxByte = d.zig()
 	m.Switches = d.zig()
 	m.Flushes = d.zig()
 	m.Cnt = d.zig()
-	m.Op = d.str()
+	m.Op = d.str(in)
 	m.Seq = d.uvarint()
 	nseg := d.uvarint()
 	if d.err != nil {
-		return nil, 0, d.err
+		return d.err
 	}
 	if nseg > uint64(len(d.b)-d.off)/minSegSize+1 {
-		return nil, 0, ErrTruncated
+		return ErrTruncated
 	}
 	if nseg > 0 {
-		m.Seg = make([]jsonmsg.Segment, 0, nseg)
+		if slab != nil {
+			m.Seg = slab.Segments(int(nseg))[:0]
+		} else {
+			m.Seg = make([]jsonmsg.Segment, 0, nseg)
+		}
 	}
 	for i := uint64(0); i < nseg; i++ {
 		var s jsonmsg.Segment
-		s.DataSet = d.str()
+		s.DataSet = d.str(in)
 		s.PtSel = d.zig()
 		s.IrregHSlab = d.zig()
 		s.RegHSlab = d.zig()
@@ -167,9 +187,36 @@ func DecodeMessage(b []byte) (*jsonmsg.Message, int, error) {
 		s.Dur = d.float()
 		s.Timestamp = d.float()
 		if d.err != nil {
-			return nil, 0, d.err
+			return d.err
 		}
 		m.Seg = append(m.Seg, s)
+	}
+	return nil
+}
+
+// DecodeMessage decodes one binary record from the front of b, returning
+// the message and the number of bytes consumed. Everything is freshly
+// heap-allocated; this is the standalone path — the batched wire path
+// uses DecodeMessageSlab.
+func DecodeMessage(b []byte) (*jsonmsg.Message, int, error) {
+	d := decoder{b: b}
+	m := &jsonmsg.Message{}
+	if err := d.decodeInto(m, nil, nil); err != nil {
+		return nil, 0, err
+	}
+	return m, d.off, nil
+}
+
+// DecodeMessageSlab decodes one binary record from the front of b into
+// slab-owned memory: the message struct and its segment array come from s
+// and are valid only while s is retained; strings are interned through in
+// when non-nil (interned strings are plain heap strings, valid forever).
+// On steady state this path performs zero per-record heap allocations.
+func DecodeMessageSlab(b []byte, s *Slab, in *Interner) (*jsonmsg.Message, int, error) {
+	d := decoder{b: b}
+	m := s.Msg()
+	if err := d.decodeInto(m, s, in); err != nil {
+		return nil, 0, err
 	}
 	return m, d.off, nil
 }

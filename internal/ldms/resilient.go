@@ -252,7 +252,11 @@ func (f *ReconnectingForwarder) enqueue(m streams.Message) {
 			}
 		}
 	}
-	f.spool = append(f.spool, m)
+	// The spool outlives the publisher's synchronous hand-off, so a
+	// slab-backed record must be detached here — its slab may be reset
+	// the moment the bus fan-out returns. Heap records pass through
+	// untouched (Detach is the identity for them).
+	f.spool = append(f.spool, streams.Detach(m))
 	f.cond.Broadcast()
 	f.mu.Unlock()
 }

@@ -157,7 +157,8 @@ func (s *CSVStore) Flush() error {
 type DSOSStore struct {
 	client *dsos.Client
 	mu     sync.Mutex
-	objs   []sos.Object // reused per-message object batch
+	objs   []sos.Object   // reused per-message object batch
+	arena  *dsos.RowArena // row backings + cached boxes (guarded by mu)
 	// Obs plane (set by Instrument; nil-safe counters otherwise).
 	clock   obs.Clock
 	msgs    *obs.Counter
@@ -170,7 +171,7 @@ const hopStore = "store"
 
 // NewDSOSStore creates the store plugin over a connected client.
 func NewDSOSStore(client *dsos.Client) *DSOSStore {
-	return &DSOSStore{client: client}
+	return &DSOSStore{client: client, arena: dsos.NewRowArena()}
 }
 
 // Name implements StorePlugin.
@@ -189,7 +190,11 @@ func (s *DSOSStore) Store(m streams.Message) error {
 			st.Stamp(hopStore, s.clock())
 		}
 	}
-	s.objs = dsos.AppendObjects(s.objs[:0], msg)
+	// Rows come from the store's arena: shared []any backings and cached
+	// boxes, so steady-state ingest of repeated values stops allocating.
+	// The message may be slab-backed — that is fine, the arena copies
+	// every value it reads and the insert below is synchronous.
+	s.objs = s.arena.AppendObjects(s.objs[:0], msg)
 	err = s.client.InsertBatch(dsos.DarshanSchemaName, s.objs)
 	s.msgs.Inc()
 	s.objects.Add(uint64(len(s.objs)))

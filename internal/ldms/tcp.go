@@ -193,18 +193,23 @@ func (s *TCPServer) serve(conn net.Conn) {
 		conn.Close()
 	}()
 	br := bufio.NewReader(&countingReader{r: conn, n: &s.wireBytes})
+	dec := NewBatchDecoder()
 	for {
 		// One connection may interleave legacy single-message frames and
-		// batch frames; ReadAnyFrame dispatches on the leading byte, and
-		// the same peek classifies the frame for the wire counters (a
+		// batch frames; ReadAnyFrameSlab dispatches on the leading byte,
+		// and the same peek classifies the frame for the wire counters (a
 		// legacy frame's first length byte can never be the batch magic —
-		// maxFrame keeps it below 0x01000000).
+		// maxFrame keeps it below 0x01000000). Each frame decodes into a
+		// pooled slab released after the publish fan-out below: Publish is
+		// synchronous, and any handler that queues a message past its
+		// return (the forwarder spool, durable streams) detaches or copies
+		// what it keeps.
 		lead, err := br.Peek(1)
 		if err != nil {
 			return // EOF: best-effort, drop the link
 		}
 		isBatch := lead[0] == batchMagic
-		msgs, err := ReadAnyFrame(br)
+		msgs, slab, err := dec.ReadAnyFrameSlab(br)
 		if err != nil {
 			return // EOF or protocol error: best-effort, drop the link
 		}
@@ -239,6 +244,7 @@ func (s *TCPServer) serve(conn net.Conn) {
 			}
 			s.d.Bus().Publish(m)
 		}
+		slab.Release()
 	}
 }
 

@@ -293,6 +293,18 @@ func FuzzReadBatchFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msgs, err := ReadAnyFrame(bufio.NewReader(bytes.NewReader(data)))
+		// The arena-pooled decoder must make the same accept/reject
+		// decision on every input and yield the same message count.
+		smsgs, slab, serr := NewBatchDecoder().ReadAnyFrameSlab(bufio.NewReader(bytes.NewReader(data)))
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree on validity: legacy err=%v, slab err=%v", err, serr)
+		}
+		if serr == nil {
+			if len(smsgs) != len(msgs) {
+				t.Fatalf("slab path decoded %d messages, legacy %d", len(smsgs), len(msgs))
+			}
+			slab.Release()
+		}
 		if err != nil {
 			return
 		}
@@ -305,4 +317,69 @@ func FuzzReadBatchFrame(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestBatchDecoderSlabMatchesLegacy: the arena-pooled decode path must be
+// observationally identical to the allocating one — same envelopes, same
+// typed fields, same opaque payloads — for a mixed batch and for a legacy
+// single-message frame.
+func TestBatchDecoderSlabMatchesLegacy(t *testing.T) {
+	in := []streams.Message{
+		typedMsg(1),
+		{Tag: "raw", Type: streams.TypeJSON, Data: []byte(`{"op":"open"}`), Producer: "p", Seq: 2},
+		{Tag: "str", Type: streams.TypeString, Data: []byte("hello")},
+		typedMsg(3),
+	}
+	var buf bytes.Buffer
+	if err := WriteBatchFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, streams.Message{
+		Tag: "legacy", Type: streams.TypeJSON, Data: []byte(`{"op":"close"}`), Producer: "q", Seq: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	legacyBR := bufio.NewReader(bytes.NewReader(wire))
+	slabBR := bufio.NewReader(bytes.NewReader(wire))
+	dec := NewBatchDecoder()
+	for frame := 0; frame < 2; frame++ {
+		want, err := ReadAnyFrame(legacyBR)
+		if err != nil {
+			t.Fatalf("frame %d legacy: %v", frame, err)
+		}
+		got, slab, err := dec.ReadAnyFrameSlab(slabBR)
+		if err != nil {
+			t.Fatalf("frame %d slab: %v", frame, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("frame %d: %d messages via slab, %d via legacy", frame, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Tag != want[i].Tag || got[i].Type != want[i].Type ||
+				got[i].Producer != want[i].Producer || got[i].Seq != want[i].Seq {
+				t.Fatalf("frame %d msg %d envelope mismatch:\n got %+v\nwant %+v", frame, i, got[i], want[i])
+			}
+			wantFields, wantErr := event.Fields(want[i])
+			gotFields, gotErr := event.Fields(got[i])
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("frame %d msg %d parse disagreement: %v vs %v", frame, i, gotErr, wantErr)
+			}
+			if wantErr == nil && !reflect.DeepEqual(gotFields, wantFields) {
+				t.Fatalf("frame %d msg %d fields mismatch:\n got %+v\nwant %+v", frame, i, gotFields, wantFields)
+			}
+			if !bytes.Equal(got[i].Data, want[i].Data) {
+				t.Fatalf("frame %d msg %d payload mismatch", frame, i)
+			}
+		}
+		// Opaque payloads must be self-owned copies: releasing the slab and
+		// decoding the next frame into the same decoder must not disturb
+		// them (the durable stream retains these bytes indefinitely).
+		rawBefore := append([]byte(nil), got[1%len(got)].Data...)
+		slab.Release()
+		if !bytes.Equal(got[1%len(got)].Data, rawBefore) {
+			t.Fatalf("frame %d: opaque payload changed after slab release", frame)
+		}
+	}
 }

@@ -2,12 +2,13 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
 var hotallocCheck = &Check{
 	Name: "hotalloc",
-	Doc:  "no fmt.Sprintf on the per-event hot path (connector, event, jsonmsg, ldms)",
+	Doc:  "no fmt.Sprint* or per-element interface boxing ([]any composite literals) on the per-event hot path (connector, event, jsonmsg, ldms, dsos)",
 	Run:  runHotalloc,
 }
 
@@ -16,13 +17,20 @@ var hotallocCheck = &Check{
 // costs an interface boxing plus a string allocation *per event* — the
 // exact overhead the paper measures as the sprintf-encoder ablation
 // (Table IIc) and the lazy message plane exists to avoid. Matching is by
-// whole path segment, like ZoneFor.
+// whole path segment, like ZoneFor. internal/dsos joined the list with
+// the arena-pooled wire path: ingest builds store rows per event, so
+// boxing regressions there are exactly as hot as codec ones.
 var hotPathPaths = []string{
 	"internal/connector",
 	"internal/event",
 	"internal/jsonmsg",
 	"internal/ldms",
+	"internal/dsos",
 }
+
+// sprintNames are the fmt formatting calls that allocate their result
+// per call; Sprintf's siblings count too.
+var sprintNames = []string{"Sprintf", "Sprint", "Sprintln"}
 
 // hotPathDirective is how a package outside hotPathPaths (fixtures) forces
 // hot-path treatment.
@@ -78,9 +86,31 @@ func funcAllowsHotalloc(fd *ast.FuncDecl) bool {
 	return false
 }
 
-// runHotalloc flags fmt.Sprintf call sites in hot-path packages, skipping
-// cold formatting methods (String/Name/Error) and functions whose doc
-// comment carries //lint:allow hotalloc <reason>.
+// isAnySliceLit reports whether cl is a non-empty composite literal whose
+// type's underlying is []any (sos.Object, sos.Key and friends): each
+// element is boxed into an interface at construction, so one literal on
+// the hot path is len(Elts) allocations per event. The arena/cached-box
+// builders (dsos.RowArena, Container.takeKey) exist to avoid this.
+func (p *Pass) isAnySliceLit(cl *ast.CompositeLit) bool {
+	if len(cl.Elts) == 0 {
+		return false
+	}
+	t := p.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	iface, ok := sl.Elem().Underlying().(*types.Interface)
+	return ok && iface.NumMethods() == 0
+}
+
+// runHotalloc flags fmt.Sprint* call sites and boxing []any composite
+// literals in hot-path packages, skipping cold formatting methods
+// (String/Name/Error) and functions whose doc comment carries
+// //lint:allow hotalloc <reason>.
 func runHotalloc(p *Pass) {
 	if !isHotPath(p.Package) {
 		return
@@ -93,16 +123,23 @@ func runHotalloc(p *Pass) {
 				continue
 			}
 			ast.Inspect(decl, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
+				switch v := n.(type) {
+				case *ast.CallExpr:
+					for _, name := range sprintNames {
+						if _, ok := p.IsPkgCall(f, v, "fmt", name); ok {
+							p.Reportf(v.Pos(),
+								"build with append/strconv or a pooled buffer; //lint:allow hotalloc <reason> for a deliberate ablation",
+								"fmt.%s on the per-event hot path allocates per call", name)
+							break
+						}
+					}
+				case *ast.CompositeLit:
+					if p.isAnySliceLit(v) {
+						p.Reportf(v.Pos(),
+							"build rows through an arena/cached-box builder (dsos.RowArena) instead of a boxing literal; //lint:allow hotalloc <reason> if this site is deliberately cold",
+							"[]any composite literal on the per-event hot path boxes every element")
+					}
 				}
-				if _, ok := p.IsPkgCall(f, call, "fmt", "Sprintf"); !ok {
-					return true
-				}
-				p.Reportf(call.Pos(),
-					"build with append/strconv or a pooled buffer; //lint:allow hotalloc <reason> for a deliberate ablation",
-					"fmt.Sprintf on the per-event hot path allocates per call")
 				return true
 			})
 		}

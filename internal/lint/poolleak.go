@@ -7,20 +7,21 @@ import (
 
 var poolleakCheck = &Check{
 	Name: "poolleak",
-	Doc:  "a value checked out of an instrumented pool (BatchPool/BufferPool.Get) must reach Put on every non-escaping path",
+	Doc:  "a value checked out of an instrumented pool (BatchPool/BufferPool/SlabPool.Get) must reach Put or Release on every non-escaping path",
 	Run:  runPoolleak,
 }
 
 // runPoolleak tracks every `v := pool.Get()` where pool's named type ends
-// in "Pool" and has a Put method (event.BatchPool, event.BufferPool, and
-// any future sibling — sync.Pool itself is exempt, its Get legitimately
-// feeds type assertions that discard on miss). The CFG walk demands that
-// every path from the Get reaches a `*.Put(v)` (directly or deferred),
-// or that ownership escapes (v returned, stored into a field, handed to
-// a non-borrowing call). A path that reaches the function exit with the
-// value still held leaks a pooled buffer: the pool's Get/Put counters
-// drift and the arena the batching hot loop depends on quietly degrades
-// to per-flush allocation.
+// in "Pool" and either has a Put method (event.BatchPool, event.BufferPool)
+// or checks out values with their own Release method (event.SlabPool's
+// ref-counted slabs) — sync.Pool itself is exempt, its Get legitimately
+// feeds type assertions that discard on miss. The CFG walk demands that
+// every path from the Get reaches a `*.Put(v)` or `v.Release()` (directly
+// or deferred), or that ownership escapes (v returned, stored into a
+// field, handed to a non-borrowing call). A path that reaches the
+// function exit with the value still held leaks a pooled buffer: the
+// pool's Get/Put counters drift and the arena the batching hot loop
+// depends on quietly degrades to per-flush allocation.
 func runPoolleak(p *Pass) {
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -84,13 +85,19 @@ func (p *Pass) poolleakFunc(body *ast.BlockStmt) {
 		spec := &obligationSpec{
 			isRelease: func(ob *obligation, call *ast.CallExpr) bool {
 				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || sel.Sel.Name != "Put" {
+				if !ok {
 					return false
 				}
-				for _, a := range call.Args {
-					if usesObligation(p, a, ob) {
-						return true
+				switch sel.Sel.Name {
+				case "Put":
+					for _, a := range call.Args {
+						if usesObligation(p, a, ob) {
+							return true
+						}
 					}
+				case "Release":
+					// Ref-counted checkout: v.Release() is the discharge.
+					return usesObligation(p, sel.X, ob)
 				}
 				return false
 			},
@@ -104,8 +111,8 @@ func (p *Pass) poolleakFunc(body *ast.BlockStmt) {
 		}
 		recv := types.ExprString(s.call.Fun.(*ast.SelectorExpr).X)
 		p.Reportf(s.call.Pos(),
-			"return it with `defer "+recv+".Put("+s.ob.name+")` right after the Get, or Put on every early-exit path",
-			"%s.Get leaks: %q does not reach Put on every path (%d leaking)", recv, s.ob.name, len(leaks))
+			"return it with `defer "+recv+".Put("+s.ob.name+")` (or `defer "+s.ob.name+".Release()` for ref-counted checkouts) right after the Get, or discharge on every early-exit path",
+			"%s.Get leaks: %q does not reach Put/Release on every path (%d leaking)", recv, s.ob.name, len(leaks))
 	}
 }
 
@@ -123,8 +130,10 @@ func unwrapPoolGet(e ast.Expr) *ast.CallExpr {
 	return nil
 }
 
-// isPoolGet matches x.Get() where x's named type ends in "Pool", has a
-// Put method, and is not sync.Pool itself.
+// isPoolGet matches x.Get() where x's named type ends in "Pool", is not
+// sync.Pool itself, and discharges either through the pool (a Put
+// method) or through the checked-out value (its Get result has a
+// Release method — the SlabPool shape).
 func (p *Pass) isPoolGet(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Get" || len(call.Args) != 0 {
@@ -149,5 +158,11 @@ func (p *Pass) isPoolGet(call *ast.CallExpr) bool {
 	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
 		return false
 	}
-	return hasMethod(t, "Put")
+	if hasMethod(t, "Put") {
+		return true
+	}
+	if rt := p.TypeOf(call); rt != nil && hasMethod(rt, "Release") {
+		return true
+	}
+	return false
 }

@@ -47,3 +47,41 @@ func (e *Event) Name() string {
 func Describe(e *Event) (int, error) {
 	return fmt.Println(e.Op)
 }
+
+// EncodeSprint: Sprintf's allocating siblings count too.
+func EncodeSprint(e *Event) string {
+	a := fmt.Sprint("rank=", e.Rank) // want hotalloc
+	b := fmt.Sprintln(e.Op)          // want hotalloc
+	return a + b
+}
+
+// Object stands in for sos.Object: underlying []any, so a non-empty
+// literal boxes every element.
+type Object []any
+
+// BuildRow boxes three values per event at construction.
+func BuildRow(e *Event) Object {
+	return Object{e.Rank, e.Op, uint64(e.Rank)} // want hotalloc
+}
+
+// BuildRowLiteral: a plain []any literal is the same boxing.
+func BuildRowLiteral(e *Event) []any {
+	return []any{e.Rank, e.Op} // want hotalloc
+}
+
+// BuildEmpty: an empty literal boxes nothing — not flagged.
+func BuildEmpty() Object {
+	return Object{}
+}
+
+// BuildTyped: concrete element types don't box — not flagged.
+func BuildTyped(e *Event) []int {
+	return []int{e.Rank, e.Rank + 1}
+}
+
+// BuildRowCold is a deliberately cold admin-path builder.
+//
+//lint:allow hotalloc cold admin path: runs once per job, not per event
+func BuildRowCold(e *Event) Object {
+	return Object{e.Rank, e.Op}
+}

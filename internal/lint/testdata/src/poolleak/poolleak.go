@@ -142,3 +142,58 @@ func Suppressed(p *BatchPool) {
 	b := p.Get() //lint:allow poolleak fixture: released by a registered finalizer
 	b.n++
 }
+
+// Slab mimics event.Slab: ref-counted, discharged through its own
+// Release method rather than a pool Put.
+type Slab struct{ refs int }
+
+func (s *Slab) Release() { s.refs-- }
+
+// SlabPool mimics event.SlabPool: no Put method; Get checks out a
+// ref-counted value whose Release is the discharge.
+type SlabPool struct{ free []*Slab }
+
+func (p *SlabPool) Get() *Slab {
+	if len(p.free) == 0 {
+		return &Slab{refs: 1}
+	}
+	s := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	s.refs = 1
+	return s
+}
+
+// SlabLeak skips Release on the early-return path.
+func SlabLeak(p *SlabPool, fail bool) int {
+	s := p.Get() // want poolleak
+	if fail {
+		return -1
+	}
+	n := s.refs
+	s.Release()
+	return n
+}
+
+// GoodSlabDefer is the canonical ref-counted pattern.
+func GoodSlabDefer(p *SlabPool) {
+	s := p.Get()
+	defer s.Release()
+	s.refs++
+}
+
+// GoodSlabManual releases on every path by hand.
+func GoodSlabManual(p *SlabPool, fail bool) int {
+	s := p.Get()
+	if fail {
+		s.Release()
+		return -1
+	}
+	n := s.refs
+	s.Release()
+	return n
+}
+
+// GoodSlabReturn transfers the reference to the caller.
+func GoodSlabReturn(p *SlabPool) *Slab {
+	return p.Get()
+}

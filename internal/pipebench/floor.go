@@ -1,0 +1,156 @@
+package pipebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// The bench floor is the perf sibling of ci/coverage.floor and the lint
+// baseline ledger: a committed file that CI compares every run against,
+// tightened only by an explicit -write-floor regeneration — never
+// loosened silently, never ratcheted by a lucky run. Relative metrics
+// (speedups, allocs/event) are the primary gates because they are stable
+// across machines; absolute throughput floors are written with a haircut
+// (floorHaircut) so a slower CI host does not fail on hardware variance,
+// and every floor check allows the tolerance band on top.
+
+// Floor is the committed contents of ci/bench.floor.
+type Floor struct {
+	Comment                string  `json:"comment"`
+	TolerancePct           float64 `json:"tolerance_pct"`
+	MinTypedSpeedup        float64 `json:"min_typed_speedup_vs_legacy"`
+	MinBatchVsTyped        float64 `json:"min_batch_speedup_vs_typed"`
+	MaxBatchAllocsPerEvent float64 `json:"max_batch_allocs_per_event"`
+	MinBatchEventsPerSec   float64 `json:"min_batch_events_per_sec"`
+	MinScaledEventsPerSec  float64 `json:"min_scaled_events_per_sec"`
+}
+
+// floorHaircut scales measured throughput down when writing absolute
+// floors, leaving cross-machine headroom under the committed value.
+const floorHaircut = 0.75
+
+// LoadFloor reads a committed floor file.
+func LoadFloor(path string) (*Floor, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &Floor{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("pipebench: %s: %w", path, err)
+	}
+	if f.TolerancePct < 0 || f.TolerancePct > 50 {
+		return nil, fmt.Errorf("pipebench: %s: tolerance_pct %.1f out of range", path, f.TolerancePct)
+	}
+	return f, nil
+}
+
+// batch returns the typed-batch-wire result of the report, if present.
+func (r *Report) batch() *Result {
+	for i := range r.Results {
+		if r.Results[i].Mode == "typed-batch-wire" {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// bestScaled returns the highest events/sec of the scaling series (0 if
+// the series was not run).
+func (r *Report) bestScaled() float64 {
+	best := 0.0
+	for _, p := range r.Scaling {
+		if p.EventsPerSec > best {
+			best = p.EventsPerSec
+		}
+	}
+	return best
+}
+
+// Check compares a report against the floor, applying the tolerance band
+// in the regressing direction of each gate (a min floor passes at
+// floor*(1-tol), a max ceiling at limit*(1+tol)). It returns every
+// violated gate, empty when the run holds the floor.
+func (f *Floor) Check(r *Report) []string {
+	tol := f.TolerancePct / 100
+	var fails []string
+	minOK := func(v, floor float64) bool { return floor == 0 || v >= floor*(1-tol) }
+	maxOK := func(v, limit float64) bool { return limit == 0 || v <= limit*(1+tol) }
+
+	if !minOK(r.SpeedupTyped, f.MinTypedSpeedup) {
+		fails = append(fails, fmt.Sprintf("typed-lazy speedup vs legacy %.2fx < floor %.2fx (-%.0f%%)",
+			r.SpeedupTyped, f.MinTypedSpeedup, f.TolerancePct))
+	}
+	if !minOK(r.BatchVsTyped, f.MinBatchVsTyped) {
+		fails = append(fails, fmt.Sprintf("typed-batch-wire speedup vs typed %.2fx < floor %.2fx (-%.0f%%): the batched path must stay the fastest",
+			r.BatchVsTyped, f.MinBatchVsTyped, f.TolerancePct))
+	}
+	b := r.batch()
+	if b == nil {
+		fails = append(fails, "report has no typed-batch-wire result")
+		return fails
+	}
+	if !maxOK(b.AllocsPerEvent, f.MaxBatchAllocsPerEvent) {
+		fails = append(fails, fmt.Sprintf("typed-batch-wire allocs/event %.1f > ceiling %.1f (+%.0f%%)",
+			b.AllocsPerEvent, f.MaxBatchAllocsPerEvent, f.TolerancePct))
+	}
+	if !minOK(b.EventsPerSec, f.MinBatchEventsPerSec) {
+		fails = append(fails, fmt.Sprintf("typed-batch-wire %.0f events/sec < floor %.0f (-%.0f%%)",
+			b.EventsPerSec, f.MinBatchEventsPerSec, f.TolerancePct))
+	}
+	if scaled := r.bestScaled(); f.MinScaledEventsPerSec != 0 && len(r.Scaling) > 0 && !minOK(scaled, f.MinScaledEventsPerSec) {
+		fails = append(fails, fmt.Sprintf("best scaled throughput %.0f events/sec < floor %.0f (-%.0f%%)",
+			scaled, f.MinScaledEventsPerSec, f.TolerancePct))
+	}
+	return fails
+}
+
+// CheckFile loads the floor at path and checks r against it, returning a
+// single error listing every violated gate.
+func CheckFile(path string, r *Report) error {
+	f, err := LoadFloor(path)
+	if err != nil {
+		return err
+	}
+	if fails := f.Check(r); len(fails) > 0 {
+		return fmt.Errorf("bench floor %s violated:\n  %s", path, strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// WriteFloor regenerates the committed floor from a measured report:
+// relative gates are written at the measured value rounded down to a
+// modest step (so a marginally better run does not silently tighten the
+// ratchet), absolute throughput floors take the cross-machine haircut.
+func WriteFloor(path string, r *Report) error {
+	b := r.batch()
+	if b == nil {
+		return fmt.Errorf("pipebench: report has no typed-batch-wire result")
+	}
+	f := &Floor{
+		Comment: "Ratcheted perf floor for the batched wire path; compared by `make bench-smoke` " +
+			"with the tolerance band. Regenerate only deliberately: dlc-experiments -only pipeline -write-floor.",
+		TolerancePct:           10,
+		MinTypedSpeedup:        roundDown(r.SpeedupTyped, 0.25),
+		MinBatchVsTyped:        1.0, // the refactor's contract: batched is never slower than unbatched
+		MaxBatchAllocsPerEvent: 5,   // the issue's ceiling, not the measured value: room stays room
+		MinBatchEventsPerSec:   roundDown(b.EventsPerSec*floorHaircut, 1000),
+		MinScaledEventsPerSec:  roundDown(r.bestScaled()*floorHaircut, 1000),
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// roundDown floors v to a multiple of step.
+func roundDown(v, step float64) float64 {
+	if step <= 0 {
+		return v
+	}
+	n := float64(int64(v / step))
+	return n * step
+}

@@ -18,11 +18,13 @@
 package pipebench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"darshanldms/internal/dsos"
@@ -43,14 +45,25 @@ type Result struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
+// ScalingPoint is one multi-core measurement: the batched wire pipeline
+// run across Shards independent ingest shards (own sink, own decoder,
+// own arena) over the same total event stream.
+type ScalingPoint struct {
+	Shards       int     `json:"shards"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+}
+
 // Report is the full benchmark output written to BENCH_pipeline.json.
 type Report struct {
-	Seed         uint64   `json:"seed"`
-	Events       int      `json:"events"`
-	Reps         int      `json:"reps"`
-	Results      []Result `json:"results"`
-	SpeedupTyped float64  `json:"speedup_typed_vs_legacy"`
-	SpeedupBatch float64  `json:"speedup_typed_batch_vs_legacy"`
+	Seed         uint64         `json:"seed"`
+	Events       int            `json:"events"`
+	Reps         int            `json:"reps"`
+	Results      []Result       `json:"results"`
+	SpeedupTyped float64        `json:"speedup_typed_vs_legacy"`
+	SpeedupBatch float64        `json:"speedup_typed_batch_vs_legacy"`
+	BatchVsTyped float64        `json:"speedup_batch_vs_typed"`
+	Scaling      []ScalingPoint `json:"scaling"`
 }
 
 // genMessages builds the seeded event stream every mode consumes: the
@@ -125,100 +138,231 @@ func runTyped(msgs []*jsonmsg.Message, cl *dsos.Client) error {
 	return nil
 }
 
+// pubPool supplies publisher-side slabs: the sender wraps typed messages
+// in slab-owned records (zero allocation) that live only until the frame
+// is encoded.
+var pubPool event.SlabPool
+
+// batchWire is one shard's reusable wire-path state: the frame scratch,
+// the per-connection decoder (interner + payload buffer), the ingest
+// arena and the object batch. Everything steady-state is reused; this is
+// the shape the refactor exists to measure.
+type batchWire struct {
+	dec   *ldms.BatchDecoder
+	arena *dsos.RowArena
+	frame bytes.Buffer
+	rd    bytes.Reader
+	objs  []sos.Object
+}
+
+func newBatchWire() *batchWire {
+	return &batchWire{dec: ldms.NewBatchDecoder(), arena: dsos.NewRowArena()}
+}
+
+// flush pushes one publisher batch across the in-memory wire: encode to
+// a real batch frame, decode into a pooled slab, arena-ingest every row,
+// one placement-preserving InsertBatch for the whole frame, release the
+// slab.
+func (w *batchWire) flush(cl *dsos.Client, batch []streams.Message) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	w.frame.Reset()
+	if err := ldms.WriteBatchFrame(&w.frame, batch); err != nil {
+		return err
+	}
+	w.rd.Reset(w.frame.Bytes())
+	decoded, slab, err := w.dec.ReadBatchFrameSlab(&w.rd)
+	if err != nil {
+		return err
+	}
+	w.objs = w.objs[:0]
+	for i := range decoded {
+		fields, err := event.Fields(decoded[i])
+		if err != nil {
+			slab.Release()
+			return err
+		}
+		w.objs = w.arena.AppendObjects(w.objs, fields)
+	}
+	err = cl.InsertBatch(dsos.DarshanSchemaName, w.objs)
+	slab.Release()
+	return err
+}
+
 // runTypedBatch additionally pushes every record through the batched TCP
 // frame codec (encode + decode in memory) before ingest, measuring the
-// full wire-crossing typed path.
+// full wire-crossing typed path: slab-wrapped publisher records, pooled
+// frame buffers, slab decode with string interning, arena ingest, one
+// batch insert per frame.
 func runTypedBatch(msgs []*jsonmsg.Message, cl *dsos.Client, batchSize int) error {
-	var objs []sos.Object
-	var wire []byte
+	w := newBatchWire()
 	batch := make([]streams.Message, 0, batchSize)
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
+	for start := 0; start < len(msgs); start += batchSize {
+		end := start + batchSize
+		if end > len(msgs) {
+			end = len(msgs)
 		}
-		wire = ldms.AppendBatch(wire[:0], batch)
-		decoded, err := ldms.DecodeBatch(wire)
+		pub := pubPool.Get()
+		batch = batch[:0]
+		for _, m := range msgs[start:end] {
+			batch = append(batch, streams.Message{
+				Tag: dsos.DarshanSchemaName, Type: streams.TypeJSON,
+				Record:   pub.Wrap(m, jsonmsg.FastEncoder{}),
+				Producer: m.ProducerName, Seq: m.Seq,
+			})
+		}
+		err := w.flush(cl, batch)
+		pub.Release()
 		if err != nil {
 			return err
 		}
-		for _, dm := range decoded {
-			fields, err := event.Fields(dm)
-			if err != nil {
-				return err
-			}
-			objs = dsos.AppendObjects(objs[:0], fields)
-			if err := cl.InsertBatch(dsos.DarshanSchemaName, objs); err != nil {
-				return err
-			}
-		}
-		batch = batch[:0]
-		return nil
 	}
-	for _, m := range msgs {
-		batch = append(batch, streams.Message{
-			Tag: dsos.DarshanSchemaName, Type: streams.TypeJSON,
-			Record:   event.NewRecord(m, jsonmsg.FastEncoder{}),
-			Producer: m.ProducerName, Seq: m.Seq,
-		})
-		if len(batch) == batchSize {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-	}
-	return flush()
+	return nil
 }
 
-// measure times one mode over reps runs against fresh sinks and returns
-// the best (lowest ns/event) rep — standard microbenchmark practice to
-// shed scheduler noise.
-func measure(mode string, msgs []*jsonmsg.Message, reps int, run func([]*jsonmsg.Message, *dsos.Client) error) (Result, error) {
-	best := Result{Mode: mode, Events: len(msgs)}
+// modeRun is one benchmarked pipeline shape.
+type modeRun struct {
+	mode string
+	run  func([]*jsonmsg.Message, *dsos.Client) error
+}
+
+// measureAll times every mode over reps runs against fresh sinks and
+// returns the best (lowest ns/event) rep per mode. Reps are interleaved
+// across modes — rep 0 of every mode, then rep 1, and so on — so slow
+// environmental drift (GC pacing, frequency scaling, a noisy neighbour
+// on a shared core) lands on every mode equally instead of biasing
+// whichever mode happened to run last; best-of-reps then sheds the
+// remaining scheduler noise.
+func measureAll(msgs []*jsonmsg.Message, reps int, modes []modeRun) ([]Result, error) {
+	best := make([]Result, len(modes))
+	for i, m := range modes {
+		best[i] = Result{Mode: m.mode, Events: len(msgs)}
+	}
 	for rep := 0; rep < reps; rep++ {
-		cl, err := newSink()
-		if err != nil {
-			return best, err
-		}
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		if err := run(msgs, cl); err != nil {
-			return best, fmt.Errorf("%s: %w", mode, err)
-		}
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
-		ns := float64(elapsed.Nanoseconds()) / float64(len(msgs))
-		if best.NsPerEvent == 0 || ns < best.NsPerEvent {
-			best.NsPerEvent = ns
-			best.EventsPerSec = 1e9 / ns
-			best.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(len(msgs))
+		for i, m := range modes {
+			cl, err := newSink()
+			if err != nil {
+				return nil, err
+			}
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			if err := m.run(msgs, cl); err != nil {
+				return nil, fmt.Errorf("%s: %w", m.mode, err)
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			ns := float64(elapsed.Nanoseconds()) / float64(len(msgs))
+			if best[i].NsPerEvent == 0 || ns < best[i].NsPerEvent {
+				best[i].NsPerEvent = ns
+				best[i].EventsPerSec = 1e9 / ns
+				best[i].AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(len(msgs))
+			}
 		}
 	}
 	return best, nil
 }
 
-// Run benchmarks all three pipeline shapes over the same seeded stream.
+// runSharded runs the batched wire pipeline across shards independent
+// ingest shards — each gets a contiguous slice of the stream, its own
+// sink cluster, decoder, interner and arena — and returns the wall-clock
+// elapsed time for the whole stream.
+func runSharded(msgs []*jsonmsg.Message, shards, batchSize int) (time.Duration, error) {
+	sinks := make([]*dsos.Client, shards)
+	for i := range sinks {
+		cl, err := newSink()
+		if err != nil {
+			return 0, err
+		}
+		sinks[i] = cl
+	}
+	per := (len(msgs) + shards - 1) / shards
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < shards; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo >= len(msgs) {
+			break
+		}
+		if hi > len(msgs) {
+			hi = len(msgs)
+		}
+		wg.Add(1)
+		go func(i int, part []*jsonmsg.Message) {
+			defer wg.Done()
+			errs[i] = runTypedBatch(part, sinks[i], batchSize)
+		}(i, msgs[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// RunScaling measures the batched pipeline at each shard count (best of
+// reps), producing the multi-core series of the pipeline panel.
+func RunScaling(seed uint64, events, reps, batchSize int, shards []int) ([]ScalingPoint, error) {
+	msgs := genMessages(seed, events)
+	points := make([]ScalingPoint, 0, len(shards))
+	for _, n := range shards {
+		var best time.Duration
+		for rep := 0; rep < reps; rep++ {
+			runtime.GC()
+			elapsed, err := runSharded(msgs, n, batchSize)
+			if err != nil {
+				return nil, fmt.Errorf("scaling %d shards: %w", n, err)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		ns := float64(best.Nanoseconds()) / float64(len(msgs))
+		points = append(points, ScalingPoint{Shards: n, NsPerEvent: ns, EventsPerSec: 1e9 / ns})
+	}
+	return points, nil
+}
+
+// DefaultShards is the multi-core series measured by Run.
+var DefaultShards = []int{1, 2, 4, 8}
+
+// Run benchmarks all three pipeline shapes over the same seeded stream,
+// plus the multi-core scaling series of the batched path.
 func Run(seed uint64, events, reps, batchSize int) (*Report, error) {
+	return RunShards(seed, events, reps, batchSize, DefaultShards)
+}
+
+// RunShards is Run with an explicit shard series (nil skips scaling).
+func RunShards(seed uint64, events, reps, batchSize int, shards []int) (*Report, error) {
 	msgs := genMessages(seed, events)
 	rep := &Report{Seed: seed, Events: events, Reps: reps}
 
-	legacy, err := measure("legacy-encode-reparse", msgs, reps, runLegacy)
+	results, err := measureAll(msgs, reps, []modeRun{
+		{"legacy-encode-reparse", runLegacy},
+		{"typed-lazy", runTyped},
+		{"typed-batch-wire", func(ms []*jsonmsg.Message, cl *dsos.Client) error { return runTypedBatch(ms, cl, batchSize) }},
+	})
 	if err != nil {
 		return nil, err
 	}
-	typed, err := measure("typed-lazy", msgs, reps, runTyped)
-	if err != nil {
-		return nil, err
-	}
-	batch, err := measure("typed-batch-wire", msgs, reps,
-		func(ms []*jsonmsg.Message, cl *dsos.Client) error { return runTypedBatch(ms, cl, batchSize) })
-	if err != nil {
-		return nil, err
-	}
-	rep.Results = []Result{legacy, typed, batch}
+	legacy, typed, batch := results[0], results[1], results[2]
+	rep.Results = results
 	rep.SpeedupTyped = typed.EventsPerSec / legacy.EventsPerSec
 	rep.SpeedupBatch = batch.EventsPerSec / legacy.EventsPerSec
+	rep.BatchVsTyped = batch.EventsPerSec / typed.EventsPerSec
+	if len(shards) > 0 {
+		rep.Scaling, err = RunScaling(seed, events, reps, batchSize, shards)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
 }
 
@@ -233,6 +377,14 @@ func Render(r *Report) string {
 	}
 	fmt.Fprintf(&b, "speedup typed-lazy vs legacy:       %.2fx\n", r.SpeedupTyped)
 	fmt.Fprintf(&b, "speedup typed-batch-wire vs legacy: %.2fx\n", r.SpeedupBatch)
+	fmt.Fprintf(&b, "speedup typed-batch-wire vs typed:  %.2fx\n", r.BatchVsTyped)
+	if len(r.Scaling) > 0 {
+		fmt.Fprintf(&b, "multi-core scaling (typed-batch-wire):\n")
+		fmt.Fprintf(&b, "%-24s %14s %12s\n", "shards", "events/sec", "ns/event")
+		for _, p := range r.Scaling {
+			fmt.Fprintf(&b, "%-24d %14.0f %12.0f\n", p.Shards, p.EventsPerSec, p.NsPerEvent)
+		}
+	}
 	return b.String()
 }
 

@@ -180,6 +180,29 @@ type Container struct {
 	// nothing and keep their exact pre-replication memory and snapshot
 	// layout.
 	origins map[string][]uint64
+	// keys carves index-key backings from a shared []any chunk instead of
+	// one make per key. The B+trees retain every key for the container's
+	// lifetime, so the chunks are never recycled — they simply become the
+	// keys' storage, at one allocation per keyChunk values instead of one
+	// per key per index.
+	keys []any
+}
+
+// keyChunk sizes the shared index-key chunk (values, not keys).
+const keyChunk = 4096
+
+// takeKey carves a zero-length, capacity-capped key window of capacity n.
+func (c *Container) takeKey(n int) Key {
+	if len(c.keys) < n {
+		size := keyChunk
+		if n > size {
+			size = n
+		}
+		c.keys = make([]any, size)
+	}
+	k := Key(c.keys[:0:n])
+	c.keys = c.keys[n:]
+	return k
 }
 
 // NewContainer creates an empty container.
@@ -257,8 +280,12 @@ func (c *Container) Indices() []string {
 	return out
 }
 
-func (c *Container) indexKey(ix *Index, obj Object, oid uint64) Key {
-	key := make(Key, 0, len(ix.attrIdxs)+1)
+// indexKey builds the composite tree key for obj. oid is the pre-boxed
+// object id (any holding a uint64): the caller boxes it once and shares
+// the box across every index on the schema instead of re-boxing per
+// index.
+func (c *Container) indexKey(ix *Index, obj Object, oid any) Key {
+	key := c.takeKey(len(ix.attrIdxs) + 1)
 	for _, ai := range ix.attrIdxs {
 		key = append(key, obj[ai])
 	}
@@ -297,7 +324,7 @@ func (c *Container) InsertOrigin(schemaName string, obj Object, origin uint64) e
 	if c.origins[schemaName] != nil {
 		c.origins[schemaName] = append(c.origins[schemaName], origin)
 	}
-	oid := c.nextOID
+	var oid any = c.nextOID // boxed once, shared by every index
 	c.nextOID++
 	for _, ix := range c.indices {
 		if ix.spec.Schema == schemaName {

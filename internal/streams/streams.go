@@ -76,6 +76,28 @@ func (m Message) Payload() []byte {
 	return nil
 }
 
+// Detacher is a payload carrier whose backing memory may be pooled (a
+// slab-owned *event.Record decoded from a batch frame). DetachCarrier
+// returns a self-owned equivalent that is safe to retain indefinitely.
+// The bus stays decoupled from the event package: it only knows the
+// contract, not the implementation.
+type Detacher interface {
+	DetachCarrier() Carrier
+}
+
+// Detach returns a message safe to retain past the synchronous delivery
+// hand-off. Messages whose carrier owns its memory (heap records, plain
+// Data bytes) pass through untouched; a pooled carrier is replaced by a
+// detached copy. Every queueing boundary — the forwarder spool, any
+// handler that stores the message — must pass its message through here;
+// synchronous consumers need not.
+func Detach(m Message) Message {
+	if d, ok := m.Record.(Detacher); ok {
+		m.Record = d.DetachCarrier()
+	}
+	return m
+}
+
 // Handler consumes delivered messages.
 type Handler func(Message)
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json lint-baseline test check chaos-smoke streams-smoke topo-smoke fuzz-smoke fuzz-corpus race-smoke cover determinism-smoke bench bench-smoke bench-floor bench-full experiments examples clean
+.PHONY: all build vet lint lint-json lint-baseline test check chaos-smoke streams-smoke topo-smoke scenario-smoke fuzz-smoke fuzz-corpus race-smoke cover determinism-smoke bench bench-smoke bench-floor bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -68,6 +68,22 @@ topo-smoke:
 	$(GO) test -race -short -count=1 -run 'RebalanceSoak' ./internal/harness
 	$(GO) test -race -count=1 ./internal/topo
 
+# Scenario-engine determinism gate: unit tests for the spec parser,
+# arrival processes and planner, then the curated five-scenario campaign
+# run twice with the same seed — the two reports must be byte-identical.
+# The binary itself gates the pathology demonstration (the flash-crowd
+# metadata storm must overflow the rate-limited uplink). CI runs this as
+# its own matrix leg and uploads the report as an artifact.
+SCENDIR ?= /tmp/dlc-scenario
+scenario-smoke:
+	$(GO) test -count=1 ./internal/scenario ./internal/replay
+	$(GO) test -count=1 -run 'TestScenario|TestDetectScenario' ./internal/harness
+	rm -rf $(SCENDIR)
+	$(GO) run ./cmd/dlc-experiments -only scenario -seed 42 -out $(SCENDIR)/a
+	$(GO) run ./cmd/dlc-experiments -only scenario -seed 42 -out $(SCENDIR)/b
+	diff -r $(SCENDIR)/a $(SCENDIR)/b
+	@echo "scenario campaign: seeded reports are byte-identical"
+
 # Every parser-hardening fuzz target as package:Target pairs. fuzz-smoke
 # (local and in CI) iterates this list, and each target loads its checked-in
 # seed corpus from <package>/testdata/fuzz/<Target>/ (regenerate with
@@ -82,7 +98,8 @@ FUZZ_TARGETS ?= \
 	internal/sos:FuzzRestore \
 	internal/streams:FuzzStreamCursor \
 	internal/streams:FuzzRetention \
-	internal/topo:FuzzRing
+	internal/topo:FuzzRing \
+	internal/scenario:FuzzScenarioSpec
 
 # Short fuzz pass over every target in FUZZ_TARGETS (CI runs this too).
 FUZZTIME ?= 10s

@@ -62,6 +62,52 @@ func TestCLIRunParseSummarize(t *testing.T) {
 	}
 }
 
+func TestCLIExperimentsUnknownSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	// -only with a bogus suite name must exit non-zero and list the valid
+	// names, not silently run nothing.
+	cmd := exec.Command("go", "run", "./cmd/dlc-experiments", "-only", "bogus", "-out", t.TempDir())
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-only bogus exited zero:\n%s", out)
+	}
+	for _, want := range []string{`unknown suite "bogus"`, "2a,2b,2c", "scenario"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("error output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExperimentsAdhocScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "tiny.json")
+	if err := os.WriteFile(spec, []byte(`# ad-hoc CLI smoke scenario
+{
+  "name": "cli-tiny",
+  "horizon_s": 10,
+  "fs": "Lustre",
+  "cluster": {"nodes": 24, "ranks_per_node": 2},
+  "arrival": {"kind": "poisson", "rate_per_s": 0.5, "max_jobs": 3},
+  "jobs": [{"kind": "small-file", "weight": 1, "nodes": 2, "files_per_rank": 4, "file_bytes": 256}]
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCmd(t, "run", "./cmd/dlc-experiments", "-scenario", spec, "-seed", "7", "-out", dir)
+	if !strings.Contains(out, "== scenario cli-tiny ==") || !strings.Contains(out, "small-file") {
+		t.Fatalf("ad-hoc scenario output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "scenario-cli-tiny.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCLIExperimentsTinyPanel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI smoke test")

@@ -6,10 +6,13 @@
 //	dlc-experiments [-seed N] [-reps N] [-scale F] [-out DIR] [-only LIST]
 //
 // -only selects a comma-separated subset of
-// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,topo,pipeline}; the
-// default runs everything except pipeline (whose wall-clock numbers are
-// host-dependent) and topo (the control-plane soak, reported as a CI
-// artifact rather than a golden output).
+// {2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,topo,pipeline,scenario};
+// the default runs everything except pipeline (whose wall-clock numbers
+// are host-dependent), topo (the control-plane soak, reported as a CI
+// artifact rather than a golden output) and scenario (the declarative
+// scenario campaign, likewise a CI artifact).
+// -scenario runs a single ad-hoc scenario spec file through the full
+// pipeline instead of a curated suite (see DESIGN.md "Scenario engine").
 // -scale shrinks the workloads (1.0 = the paper's full configuration;
 // runtimes and message counts scale with it).
 package main
@@ -26,6 +29,7 @@ import (
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/obs"
 	"darshanldms/internal/pipebench"
+	"darshanldms/internal/scenario"
 	"darshanldms/internal/simfs"
 	"darshanldms/internal/webui"
 )
@@ -35,7 +39,8 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per configuration (the paper used 5)")
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper's full size)")
 	outDir := flag.String("out", "results", "output directory")
-	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,topo,pipeline")
+	only := flag.String("only", "all", "comma-separated subset of 2a,2b,2c,ablation,sweep,5,6,7,8,9,faults,chaos,topo,pipeline,scenario")
+	scenarioFile := flag.String("scenario", "", "run this ad-hoc scenario spec file instead of a suite (see internal/scenario)")
 	bins := flag.Int("bins", 24, "time bins for Figure 9")
 	benchEvents := flag.Int("bench-events", 75_000, "events per pipeline benchmark rep")
 	benchBatch := flag.Int("bench-batch", 512, "records per batch frame in the pipeline benchmark")
@@ -49,14 +54,32 @@ func main() {
 		obs.SetTracing(true)
 	}
 
+	valid := []string{"2a", "2b", "2c", "ablation", "sweep", "5", "6", "7", "8", "9", "faults", "chaos", "topo", "pipeline", "scenario"}
 	want := map[string]bool{}
+	if *scenarioFile != "" && *only == "all" {
+		// An ad-hoc spec file on its own means "run just that scenario".
+		*only = "scenario"
+	}
 	if *only == "all" {
+		// topo, pipeline and scenario are excluded: their reports are CI
+		// artifacts, not golden outputs.
 		for _, k := range []string{"2a", "2b", "2c", "ablation", "sweep", "5", "6", "7", "8", "9", "faults", "chaos"} {
 			want[k] = true
 		}
 	} else {
+		known := map[string]bool{}
+		for _, k := range valid {
+			known[k] = true
+		}
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if k == "" {
+				continue
+			}
+			if !known[k] {
+				fatal(fmt.Errorf("-only: unknown suite %q (valid: %s)", k, strings.Join(valid, ",")))
+			}
+			want[k] = true
 		}
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -194,6 +217,47 @@ func main() {
 		}
 		if staticSoak.Violations == 0 {
 			fatal(fmt.Errorf("rebalance soak: static baseline lost nothing; the comparison is vacuous"))
+		}
+	}
+	if want["scenario"] {
+		if *scenarioFile != "" {
+			// Ad-hoc spec: one scenario end to end through the full
+			// connector -> streams -> LDMS -> DSOS pipeline.
+			raw, err := os.ReadFile(*scenarioFile)
+			if err != nil {
+				fatal(err)
+			}
+			spec, err := scenario.Load(raw)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := harness.RunScenarioSpec(spec, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			emit("scenario-"+spec.Name, harness.RenderScenarioResult(res))
+		} else {
+			// Curated suite. Like topo, scenario is excluded from "all" so
+			// the golden output set is unchanged; CI diffs two seeded runs
+			// for bit-identity and uploads the report as an artifact.
+			camp, err := harness.ScenarioCampaign(*seed)
+			if err != nil {
+				fatal(err)
+			}
+			emit("scenario", harness.RenderScenarioCampaign(camp))
+			// The point of generative scenarios is reaching pathologies the
+			// fixed three-app suite cannot: the flash-crowd metadata storm
+			// must actually overflow the rate-limited uplink, or the
+			// campaign is vacuous.
+			shed := false
+			for _, r := range camp.Results {
+				if r.Name == "flash-crowd-metadata" && r.UplinkShed > 0 {
+					shed = true
+				}
+			}
+			if !shed {
+				fatal(fmt.Errorf("scenario campaign: flash-crowd-metadata shed nothing on the rate-limited uplink; the pathology demonstration is vacuous"))
+			}
 		}
 	}
 	if want["pipeline"] {

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"darshanldms/internal/darshan"
@@ -27,6 +28,7 @@ import (
 	"darshanldms/internal/event"
 	"darshanldms/internal/jsonmsg"
 	"darshanldms/internal/ldms"
+	"darshanldms/internal/scenario"
 	"darshanldms/internal/sos"
 	"darshanldms/internal/streams"
 )
@@ -181,6 +183,35 @@ func main() {
 		append([]byte{0, 7}, bytes.Repeat([]byte{2, 1, 3, 6}, 6)...))
 	write(tp, "FuzzRing", "empty-ring-lookups",
 		bytes.Repeat([]byte{2, 0, 3, 7}, 4))
+
+	// --- scenario.FuzzScenarioSpec: relaxed-JSON scenario spec parser ---
+	// Every curated suite spec is a seed (the richest valid inputs the
+	// parser sees in practice), plus hostile variants targeting each
+	// rejection path: duplicate keys, unknown fields, depth, number range,
+	// truncation, comment handling.
+	sc := "internal/scenario"
+	srcs := scenario.Sources()
+	names := make([]string, 0, len(srcs))
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		write(sc, "FuzzScenarioSpec", "suite-"+name, srcs[name])
+	}
+	first := srcs[names[0]]
+	write(sc, "FuzzScenarioSpec", "truncated-spec", first[:len(first)/2])
+	write(sc, "FuzzScenarioSpec", "duplicate-key",
+		[]byte(`{"name":"a","name":"b","horizon_s":1,"fs":"NFS","cluster":{"nodes":24},"arrival":{"kind":"poisson","rate_per_s":1},"jobs":[{"kind":"checkpoint","weight":1}]}`))
+	write(sc, "FuzzScenarioSpec", "unknown-field",
+		[]byte(`{"name":"a","horizon_s":1,"fs":"NFS","wall_clock":true,"cluster":{"nodes":24},"arrival":{"kind":"poisson","rate_per_s":1},"jobs":[{"kind":"checkpoint","weight":1}]}`))
+	write(sc, "FuzzScenarioSpec", "deep-nesting",
+		append(append(bytes.Repeat([]byte(`{"cluster":`), 24), `{}`...), bytes.Repeat([]byte(`}`), 24)...))
+	write(sc, "FuzzScenarioSpec", "huge-number",
+		[]byte(`{"name":"a","horizon_s":1e99,"fs":"NFS","cluster":{"nodes":24},"arrival":{"kind":"poisson","rate_per_s":1},"jobs":[{"kind":"checkpoint","weight":1}]}`))
+	write(sc, "FuzzScenarioSpec", "comment-only", []byte("# nothing but commentary\n// and more\n"))
+	write(sc, "FuzzScenarioSpec", "comment-markers-in-strings",
+		[]byte(`{"name":"a#b//c","horizon_s":1,"fs":"NFS","cluster":{"nodes":24},"arrival":{"kind":"poisson","rate_per_s":1},"jobs":[{"kind":"checkpoint","weight":1}]}`))
 
 	fmt.Fprintf(os.Stderr, "dlc-fuzzcorpus: wrote %d seed files under %s\n", n, *root)
 }

@@ -24,9 +24,17 @@ type Env struct {
 	RT *darshan.Runtime
 }
 
-// launch wires a world of nranks over the given nodes, builds a per-rank
+// Launch wires a world of nranks over the given nodes, builds a per-rank
 // Darshan context (with an optional macro-stepping VClock) and the
-// instrumented POSIX layer, and starts the ranks.
+// instrumented POSIX layer, and starts the ranks. Exported so external
+// workload drivers (internal/replay trace replay, internal/scenario jobs)
+// run through the same instrumentation as the paper apps.
+func Launch(env Env, nodes []*cluster.Node, nranks int, vcThreshold time.Duration,
+	body func(r *mpi.Rank, ctx *darshan.Ctx, pl darshan.PosixLayer)) *mpi.World {
+	return launch(env, nodes, nranks, vcThreshold, body)
+}
+
+// launch is the internal form of Launch.
 func launch(env Env, nodes []*cluster.Node, nranks int, vcThreshold time.Duration,
 	body func(r *mpi.Rank, ctx *darshan.Ctx, pl darshan.PosixLayer)) *mpi.World {
 

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/scenario"
+)
+
+func suiteSpec(t *testing.T, name string) *scenario.Spec {
+	t.Helper()
+	for _, s := range scenario.Suite() {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("suite scenario %q missing", name)
+	return nil
+}
+
+func TestScenarioRunDeterministic(t *testing.T) {
+	spec := suiteSpec(t, "poisson-checkpoint")
+	a, err := RunScenarioSpec(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenarioSpec(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := RenderScenarioResult(a), RenderScenarioResult(b)
+	if ra != rb {
+		t.Fatalf("identical seeded runs rendered differently:\n%s\nvs\n%s", ra, rb)
+	}
+	if len(a.Jobs) == 0 || a.Published == 0 || a.Delivered == 0 {
+		t.Fatalf("scenario produced no traffic: %+v", a)
+	}
+}
+
+func TestScenarioBaselineLossFree(t *testing.T) {
+	// No faults, no rate limit: everything published must be delivered.
+	r, err := RunScenarioSpec(suiteSpec(t, "poisson-checkpoint"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("fault-free scenario dropped %d messages", r.Dropped())
+	}
+	if r.Delivered != r.Published {
+		t.Fatalf("delivered %d != published %d in fault-free scenario", r.Delivered, r.Published)
+	}
+	if r.Stored == 0 {
+		t.Fatal("DSOS retained no rows")
+	}
+}
+
+func TestScenarioFlashCrowdShedsUplink(t *testing.T) {
+	// The pathology the fixed three-app suite cannot produce: the
+	// synchronized metadata-storm burst must overflow the rate-limited
+	// uplink's token bucket.
+	r, err := RunScenarioSpec(suiteSpec(t, "flash-crowd-metadata"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UplinkShed == 0 {
+		t.Fatalf("flash crowd did not shed on the rate-limited uplink: forwarded %d, published %d",
+			r.UplinkForwarded, r.Published)
+	}
+	if r.Delivered >= r.Published {
+		t.Fatalf("shedding not visible at the store: delivered %d, published %d", r.Delivered, r.Published)
+	}
+	out := RenderScenarioResult(r)
+	if !strings.Contains(out, "rate-limited uplink") {
+		t.Fatalf("report missing uplink shed section:\n%s", out)
+	}
+}
+
+func TestScenarioFaultsFire(t *testing.T) {
+	r, err := RunScenarioSpec(suiteSpec(t, "faulty-shared-contention"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.FaultLog) == 0 {
+		t.Fatal("scheduled faults never fired")
+	}
+}
+
+func TestScenarioReplayRuns(t *testing.T) {
+	r, err := RunScenarioSpec(suiteSpec(t, "replay-dxt"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := false
+	for _, j := range r.Jobs {
+		if j.Kind == scenario.JobReplay && j.Events > 0 {
+			replayed = true
+		}
+	}
+	if !replayed {
+		t.Fatal("no replay job produced events")
+	}
+}
+
+func TestDetectScenarioAnomaliesCrossJob(t *testing.T) {
+	mk := func(id int64, writeS float64) ScenarioJobResult {
+		return ScenarioJobResult{ID: id, Kind: "small-file", Writes: 100, WriteS: writeS}
+	}
+	jobs := []ScenarioJobResult{mk(1, 1), mk(2, 1.1), mk(3, 0.9), mk(4, 5)}
+	got := detectScenarioAnomalies(jobs, func(int) *darshan.Runtime { return nil }, 0)
+	if len(got) != 1 || !strings.Contains(got[0], "job 4") {
+		t.Fatalf("want exactly job 4 flagged, got %v", got)
+	}
+	// Below the 3x threshold: nothing flagged.
+	jobs[3] = mk(4, 2.5)
+	if got := detectScenarioAnomalies(jobs, func(int) *darshan.Runtime { return nil }, 0); len(got) != 0 {
+		t.Fatalf("threshold not respected: %v", got)
+	}
+	// Fewer than 3 jobs of a kind: no population, no verdict.
+	if got := detectScenarioAnomalies(jobs[:2], func(int) *darshan.Runtime { return nil }, 0); len(got) != 0 {
+		t.Fatalf("tiny population flagged: %v", got)
+	}
+}
+
+func TestScenarioCampaignRendersAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign in -short mode")
+	}
+	c, err := ScenarioCampaign(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderScenarioCampaign(c)
+	for _, s := range scenario.Suite() {
+		if !strings.Contains(out, "== scenario "+s.Name+" ==") {
+			t.Fatalf("campaign report missing scenario %s:\n%s", s.Name, out)
+		}
+	}
+}

@@ -76,6 +76,7 @@ var simZonePaths = []string{
 	"internal/analysis",
 	"internal/harness",
 	"internal/topo",
+	"internal/scenario",
 }
 
 // realZonePaths document the explicit allowlist of wall-clock users. They
@@ -84,7 +85,7 @@ var simZonePaths = []string{
 var realZonePaths = []string{
 	"internal/ldms",   // real TCP transport + resilient forwarder
 	"internal/faults", // tcpproxy drives real sockets
-	"internal/replay", // replays captures in wall time
+	"internal/replay", // live capture replay runs in wall time (DXT re-execution is virtual-time but shares the package)
 	"internal/webui",  // HTTP dashboard
 	"cmd",             // all binaries talk to the real world
 	"examples",

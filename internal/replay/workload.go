@@ -1,0 +1,89 @@
+package replay
+
+import (
+	"strings"
+	"time"
+
+	"darshanldms/internal/apps"
+	"darshanldms/internal/cluster"
+	"darshanldms/internal/darshan"
+	"darshanldms/internal/mpi"
+)
+
+// TraceConfig parameterizes a trace re-execution.
+type TraceConfig struct {
+	Nodes []*cluster.Node
+	Trace *Trace
+	// Speedup divides the trace's timestamps (4 = replay 4x faster).
+	// <= 0 means 1.
+	Speedup float64
+	// Dir prefixes every trace file path so concurrent replays do not
+	// collide (default the file system mount).
+	Dir string
+}
+
+// RunTrace re-executes the trace as a simulated workload: one rank per
+// trace rank placed round-robin over Nodes, each rank pacing its ops to
+// the trace's (speedup-scaled) start times in *virtual* time and issuing
+// them through the instrumented POSIX layer. The replayed run flows
+// through the same Darshan runtime — and so the same connector, streams
+// and stores — as a generative job.
+func RunTrace(env apps.Env, cfg TraceConfig) *mpi.World {
+	sp := cfg.Speedup
+	if sp <= 0 {
+		sp = 1
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = env.FS.Mount()
+	}
+	tr := cfg.Trace
+	return apps.Launch(env, cfg.Nodes, tr.Ranks(), 0, func(r *mpi.Rank, ctx *darshan.Ctx, pl darshan.PosixLayer) {
+		base := r.Proc().Now()
+		handles := map[string]*darshan.PosixFile{}
+		var openOrder []string
+		openFile := func(path string) *darshan.PosixFile {
+			f, ok := handles[path]
+			if !ok {
+				// Traces carry reads of files the replay never saw
+				// written; opening for write creates them so offsets
+				// resolve.
+				f = pl.Open(r.Proc(), r.ID, path, true).(*darshan.PosixFile)
+				handles[path] = f
+				openOrder = append(openOrder, path)
+			}
+			return f
+		}
+		for _, op := range tr.RankOps(r.ID) {
+			due := base + time.Duration(op.Start/sp*float64(time.Second))
+			if wait := due - r.Proc().Now(); wait > 0 {
+				r.Proc().Sleep(wait)
+			}
+			path := dir + "/" + strings.TrimLeft(op.File, "/")
+			switch op.Op {
+			case TraceOpen:
+				openFile(path)
+			case TraceWrite:
+				openFile(path).WriteFull(r.Proc(), op.Offset, op.Length)
+			case TraceRead:
+				openFile(path).ReadFull(r.Proc(), op.Offset, op.Length)
+			case TraceClose:
+				if f, ok := handles[path]; ok {
+					f.Close(r.Proc())
+					delete(handles, path)
+					for i, p := range openOrder {
+						if p == path {
+							openOrder = append(openOrder[:i], openOrder[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		// Close leaked handles in open order (not map order) so the event
+		// stream stays deterministic.
+		for _, path := range openOrder {
+			handles[path].Close(r.Proc())
+		}
+	})
+}

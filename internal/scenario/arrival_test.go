@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"darshanldms/internal/rng"
+)
+
+func TestArrivalsDeterministic(t *testing.T) {
+	specs := []ArrivalSpec{
+		{Kind: ArrivalPoisson, RatePerS: 2},
+		{Kind: ArrivalDiurnal, RatePerS: 1, Periods: []PeriodSpec{{PeriodS: 20, Amplitude: 0.9}}},
+		{Kind: ArrivalBursty, RatePerS: 0.2, BurstEveryS: 10, BurstSize: 5, BurstJitterS: 1},
+	}
+	for _, a := range specs {
+		x := Arrivals(rng.New(99).Derive("t"), a, 60*time.Second)
+		y := Arrivals(rng.New(99).Derive("t"), a, 60*time.Second)
+		if len(x) != len(y) {
+			t.Fatalf("%s: lengths differ: %d vs %d", a.Kind, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: arrival %d differs: %v vs %v", a.Kind, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestArrivalsSortedWithinHorizon(t *testing.T) {
+	horizon := 60 * time.Second
+	specs := []ArrivalSpec{
+		{Kind: ArrivalPoisson, RatePerS: 3},
+		{Kind: ArrivalDiurnal, RatePerS: 2, Periods: []PeriodSpec{{PeriodS: 10, Amplitude: 0.5}}},
+		{Kind: ArrivalBursty, RatePerS: 1, BurstEveryS: 7, BurstSize: 8, BurstJitterS: 2},
+	}
+	for _, a := range specs {
+		times := Arrivals(rng.New(5).Derive("t"), a, horizon)
+		if len(times) == 0 {
+			t.Fatalf("%s: no arrivals", a.Kind)
+		}
+		for i, at := range times {
+			if at < 0 || at >= horizon {
+				t.Fatalf("%s: arrival %d outside horizon: %v", a.Kind, i, at)
+			}
+			if i > 0 && at < times[i-1] {
+				t.Fatalf("%s: arrivals not sorted at %d", a.Kind, i)
+			}
+		}
+	}
+}
+
+func TestPoissonRateSanity(t *testing.T) {
+	// 10 jobs/s over 100s => ~1000 arrivals; a seeded draw should land
+	// well within +-20% (MaxJobs lifted above the expectation).
+	a := ArrivalSpec{Kind: ArrivalPoisson, RatePerS: 10, MaxJobs: MaxJobsCap}
+	n := len(Arrivals(rng.New(1).Derive("sanity"), a, 100*time.Second))
+	if n < 800 || n > 1200 {
+		t.Fatalf("poisson arrival count %d far from expectation 1000", n)
+	}
+}
+
+func TestBurstyClusters(t *testing.T) {
+	// Pure flash crowds (no background): every arrival must sit inside a
+	// [k*every, k*every+jitter) window.
+	a := ArrivalSpec{Kind: ArrivalBursty, BurstEveryS: 10, BurstSize: 6, BurstJitterS: 1, MaxJobs: MaxJobsCap}
+	times := Arrivals(rng.New(3).Derive("bursts"), a, 35*time.Second)
+	if len(times) != 18 { // bursts at 10, 20, 30
+		t.Fatalf("want 18 burst arrivals, got %d", len(times))
+	}
+	for _, at := range times {
+		s := at.Seconds()
+		k := float64(int(s/10)) * 10
+		if s-k > 1.0 {
+			t.Fatalf("arrival %v outside burst window starting at %vs", at, k)
+		}
+	}
+}
+
+func TestArrivalsMaxJobsCap(t *testing.T) {
+	a := ArrivalSpec{Kind: ArrivalPoisson, RatePerS: 100, MaxJobs: 10}
+	times := Arrivals(rng.New(8).Derive("cap"), a, time.Minute)
+	if len(times) != 10 {
+		t.Fatalf("max_jobs cap not applied: got %d arrivals", len(times))
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	// A full-amplitude single period concentrates arrivals in the first
+	// half-period (sin > 0) and suppresses the second: the first half must
+	// hold clearly more than the second.
+	a := ArrivalSpec{Kind: ArrivalDiurnal, RatePerS: 5,
+		Periods: []PeriodSpec{{PeriodS: 40, Amplitude: 1}}, MaxJobs: MaxJobsCap}
+	times := Arrivals(rng.New(11).Derive("diurnal"), a, 40*time.Second)
+	first, second := 0, 0
+	for _, at := range times {
+		if at < 20*time.Second {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first <= second {
+		t.Fatalf("diurnal modulation missing: first half %d, second half %d", first, second)
+	}
+}

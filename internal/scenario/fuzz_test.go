@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioSpec feeds arbitrary bytes through the full Parse→Validate→
+// Canonical path. Properties: no panic on hostile input, and for any spec
+// that parses, the canonical encoding is a fixed point that preserves the
+// validation verdict.
+func FuzzScenarioSpec(f *testing.F) {
+	for _, src := range Sources() {
+		f.Add(src)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "a", "name": "b"}`))
+	f.Add([]byte(`{"cluster": {"nodes": 1e99}}`))
+	f.Add([]byte(`# only a comment`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Parse returned both a spec and an error")
+			}
+			return
+		}
+		verdict := s.Validate()
+
+		c := s.Canonical()
+		if len(c) > MaxSpecBytes {
+			// Indented canonical form of a near-limit input can exceed the
+			// size cap; the round-trip property only applies to re-parseable
+			// output.
+			return
+		}
+		s2, err := Parse(c)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, c)
+		}
+		verdict2 := s2.Validate()
+		switch {
+		case verdict == nil && verdict2 != nil:
+			t.Fatalf("validation verdict flipped valid->invalid: %v", verdict2)
+		case verdict != nil && verdict2 == nil:
+			t.Fatalf("validation verdict flipped invalid->valid (was: %v)", verdict)
+		case verdict != nil && verdict2 != nil && verdict.Error() != verdict2.Error():
+			t.Fatalf("validation error changed across round-trip:\n was %q\n now %q", verdict, verdict2)
+		}
+		if !bytes.Equal(c, s2.Canonical()) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\nvs\n%s", c, s2.Canonical())
+		}
+	})
+}
